@@ -1,0 +1,115 @@
+// §3.1/§6 claim: MLTCP is a technique for a *family* of congestion control
+// algorithms — "other congestion control schemes are augmented in a similar
+// way". Three GPT-2 jobs share the bottleneck under Reno, CUBIC and DCTCP,
+// each with and without the MLTCP window gain. Every MLTCP variant should
+// reach the interleaved (ideal) iteration time; the plain variants stay
+// congested.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mltcp;
+
+constexpr int kJobs = 3;
+constexpr int kIterations = 110;
+constexpr double kNoise = 0.002;
+
+struct Variant {
+  std::string name;
+  tcp::CcFactory cc;
+  bool ecn_bottleneck = false;
+};
+
+struct Outcome {
+  double mean = 0.0;
+  double tail = 0.0;
+  double overlap_tail = 0.0;
+};
+
+Outcome run(const Variant& v) {
+  bench::ScenarioConfig scenario;
+  if (v.ecn_bottleneck) {
+    // DCTCP marking threshold: ~30 KB at 1 Gbps.
+    scenario.bottleneck_queue = net::make_ecn_factory(256 * 1500, 20 * 1500);
+  }
+  auto exp = bench::make_experiment(scenario);
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+
+  std::vector<workload::Job*> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    bench::ProfileJobOptions opts;
+    opts.max_iterations = kIterations;
+    opts.noise_stddev_seconds = kNoise;
+    jobs.push_back(bench::add_profile_job(*exp, gpt2, i, v.cc, opts));
+  }
+  exp->cluster->start_all();
+  exp->sim.run_until(sim::seconds(380));
+
+  Outcome out;
+  std::vector<double> tails;
+  std::vector<double> all;
+  for (workload::Job* job : jobs) {
+    const auto times = job->iteration_times_seconds();
+    tails.push_back(analysis::tail_mean(times, 10));
+    for (double t : times) all.push_back(t);
+  }
+  out.mean = analysis::mean(all);
+  out.tail = analysis::mean(tails);
+
+  sim::SimTime end = 0;
+  for (const workload::Job* job : jobs) {
+    if (!job->iterations().empty()) {
+      end = std::max(end, job->iterations().back().comm_end);
+    }
+  }
+  std::vector<const workload::Job*> cjobs(jobs.begin(), jobs.end());
+  out.overlap_tail =
+      analysis::comm_overlap_seconds(cjobs, end - sim::seconds(15), end);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MLTCP across the congestion-control family (§3.1, §6): three "
+              "GPT-2 jobs per variant.\n");
+
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+  const core::MltcpConfig cfg = bench::mltcp_config_for(gpt2, 1e9, 4);
+
+  std::vector<Variant> variants;
+  variants.push_back({"reno", core::reno_factory(), false});
+  variants.push_back({"mltcp-reno", core::mltcp_reno_factory(cfg), false});
+  variants.push_back({"cubic", core::cubic_factory(), false});
+  variants.push_back({"mltcp-cubic", core::mltcp_cubic_factory(cfg), false});
+  variants.push_back({"dctcp", core::dctcp_factory(), true});
+  variants.push_back({"mltcp-dctcp", core::mltcp_dctcp_factory(cfg), true});
+  variants.push_back({"swift", core::swift_factory(), false});
+  variants.push_back({"mltcp-swift", core::mltcp_swift_factory(cfg), false});
+
+  const double ideal =
+      sim::to_seconds(gpt2.ideal_iteration_time);
+  std::printf("\n%-14s %12s %16s %18s\n", "variant", "mean_iter_s",
+              "converged_iter_s", "tail_overlap_s");
+  for (const auto& v : variants) {
+    const Outcome o = run(v);
+    const char* verdict = o.tail < ideal * 1.08   ? "interleaved"
+                          : o.tail < ideal * 1.15 ? "partially interleaved"
+                                                  : "congested";
+    std::printf("%-14s %12.3f %16.3f %18.3f   %s\n", v.name.c_str(), o.mean,
+                o.tail, o.overlap_tail, verdict);
+  }
+  std::printf("\nideal iteration time: %.3fs. Expected shape: every mltcp-* "
+              "variant interleaves\n(mltcp-cubic only partially: CUBIC's "
+              "W_max memory works against the gain asymmetry,\nso it "
+              "converges slowest and is most easily re-scattered by noise), "
+              "every plain variant\nstays congested.\n",
+              ideal);
+  return 0;
+}

@@ -1,0 +1,199 @@
+// §5 "Fairness between MLTCP and TCP flows":
+//  (1) Loss-response exponent: TCP throughput ~ 1/sqrt(p) (Mathis et al.);
+//      the paper argues MLTCP-Reno behaves like ~1/p because its additive
+//      increase grows with the bytes already sent. We sweep an injected
+//      Bernoulli loss probability and fit the log-log slope for both.
+//  (2) Coexistence: an MLTCP job sharing the bottleneck with a legacy Reno
+//      bulk flow claims more than half the bandwidth but does not starve it.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "bench_common.hpp"
+#include "net/topology.hpp"
+#include "tcp/flow.hpp"
+
+namespace {
+
+using namespace mltcp;
+
+/// Mean goodput (Gbps) of one periodic job over `iters` iterations on a
+/// link with injected random loss.
+double lossy_goodput(const tcp::CcFactory& cc, double loss_p) {
+  sim::Simulator sim;
+  net::DumbbellConfig dc;
+  dc.hosts_per_side = 1;
+  // A WAN-ish RTT (~4 ms) puts the flow into the loss-limited regime where
+  // the Mathis relation is visible; with a microsecond RTT even tiny windows
+  // saturate the link and throughput is insensitive to p.
+  dc.bottleneck_delay = sim::milliseconds(2);
+  dc.bottleneck_queue = net::make_random_drop_factory(loss_p, 512 * 1500);
+  auto d = net::make_dumbbell(sim, dc);
+
+  workload::Cluster cluster(sim);
+  workload::JobSpec spec;
+  spec.name = "probe";
+  const std::int64_t bytes = 20'000'000;  // 20 MB per iteration
+  spec.flows = workload::single_flow(d.left[0], d.right[0], bytes);
+  spec.compute_time = sim::milliseconds(300);
+  spec.max_iterations = 12;
+  spec.cc = cc;
+  workload::Job* job = cluster.add_job(spec);
+  cluster.start_all();
+  sim.run_until(sim::seconds(240));
+
+  const auto comms = job->comm_times_seconds();
+  if (comms.empty()) return 0.0;
+  // Goodput during the communication phases (skip the first, slow-started).
+  std::vector<double> rates;
+  for (std::size_t i = 1; i < comms.size(); ++i) {
+    rates.push_back(static_cast<double>(bytes) * 8.0 / comms[i] * 1e-9);
+  }
+  return analysis::mean(rates);
+}
+
+double fit_loglog_slope(const std::vector<double>& ps,
+                        const std::vector<double>& ys) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const auto n = static_cast<double>(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double x = std::log(ps[i]);
+    const double y = std::log(ys[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+void loss_response() {
+  bench::print_header("(1) throughput vs injected loss probability");
+
+  core::MltcpConfig cfg;
+  cfg.tracker.total_bytes = 20'000'000;
+  cfg.tracker.comp_time = sim::milliseconds(150);
+
+  const std::vector<double> ps = {0.0001, 0.0003, 0.001, 0.003, 0.01};
+  std::vector<double> reno_tp;
+  std::vector<double> mltcp_tp;
+  std::printf("loss_p,reno_gbps,mltcp_gbps\n");
+  for (const double p : ps) {
+    reno_tp.push_back(lossy_goodput(core::reno_factory(), p));
+    mltcp_tp.push_back(lossy_goodput(core::mltcp_reno_factory(cfg), p));
+    std::printf("%.4f,%.4f,%.4f\n", p, reno_tp.back(), mltcp_tp.back());
+  }
+  std::printf("log-log slope: reno %.2f (theory -0.5), mltcp %.2f "
+              "(paper argues steeper, toward -1)\n",
+              fit_loglog_slope(ps, reno_tp), fit_loglog_slope(ps, mltcp_tp));
+}
+
+void persistent_share() {
+  bench::print_header("(2) persistent MLTCP-Reno vs persistent Reno share");
+
+  sim::Simulator sim;
+  net::DumbbellConfig dc;
+  dc.hosts_per_side = 2;
+  auto d = net::make_dumbbell(sim, dc);
+
+  // Long-lived bulk flows: the MLTCP flow's bytes_ratio saturates at 1, so
+  // its additive increase runs at F(1) = 2 vs Reno's 1.
+  core::MltcpConfig cfg;
+  cfg.tracker.total_bytes = 1'000'000;  // saturates quickly
+  cfg.tracker.comp_time = sim::seconds(10);
+
+  tcp::TcpFlow reno_flow(sim, *d.left[0], *d.right[0], 1,
+                         std::make_unique<tcp::RenoCC>());
+  tcp::TcpFlow mltcp_flow(sim, *d.left[1], *d.right[1], 2,
+                          core::make_mltcp_reno(cfg));
+
+  std::int64_t reno_bytes = 0;
+  std::int64_t mltcp_bytes = 0;
+  std::function<void(sim::SimTime)> refill_reno = [&](sim::SimTime) {
+    reno_bytes += 5'000'000;
+    reno_flow.send_message(5'000'000, refill_reno);
+  };
+  std::function<void(sim::SimTime)> refill_mltcp = [&](sim::SimTime) {
+    mltcp_bytes += 5'000'000;
+    mltcp_flow.send_message(5'000'000, refill_mltcp);
+  };
+  reno_flow.send_message(5'000'000, refill_reno);
+  mltcp_flow.send_message(5'000'000, refill_mltcp);
+  sim.run_until(sim::seconds(30));
+
+  const double total =
+      static_cast<double>(reno_bytes) + static_cast<double>(mltcp_bytes);
+  std::printf("share: mltcp %.2f, reno %.2f (Jain %.3f)\n",
+              mltcp_bytes / total, reno_bytes / total,
+              analysis::jain_index({static_cast<double>(mltcp_bytes),
+                                    static_cast<double>(reno_bytes)}));
+  std::printf("MLTCP claims the larger share: %s; Reno starved: %s\n",
+              mltcp_bytes > reno_bytes ? "yes" : "NO (unexpected)",
+              reno_bytes < 0.1 * total ? "YES (unexpected)" : "no");
+}
+
+void coexistence() {
+  bench::print_header("(3) MLTCP training job + legacy Reno bulk flow");
+
+  sim::Simulator sim;
+  net::DumbbellConfig dc;
+  dc.hosts_per_side = 2;
+  auto d = net::make_dumbbell(sim, dc);
+
+  // Legacy bulk flow: one long-lived Reno transfer.
+  tcp::TcpFlow legacy(sim, *d.left[0], *d.right[0], 1000,
+                      std::make_unique<tcp::RenoCC>());
+  std::int64_t legacy_done_bytes = 0;
+  // Chain 10 MB messages back to back to emulate a persistent flow.
+  std::function<void(sim::SimTime)> refill = [&](sim::SimTime) {
+    legacy_done_bytes += 10'000'000;
+    legacy.send_message(10'000'000, refill);
+  };
+  legacy.send_message(10'000'000, refill);
+
+  // MLTCP training job on the second host pair.
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+  workload::Cluster cluster(sim);
+  workload::JobSpec spec;
+  spec.name = "mltcp-job";
+  const std::int64_t bytes = workload::comm_bytes(gpt2, 1e9);
+  spec.flows = workload::single_flow(d.left[1], d.right[1], bytes);
+  spec.compute_time = workload::compute_time(gpt2);
+  spec.max_iterations = 20;
+  core::MltcpConfig cfg;
+  cfg.tracker.total_bytes = bytes;
+  cfg.tracker.comp_time = workload::compute_time(gpt2) / 2;
+  spec.cc = core::mltcp_reno_factory(cfg);
+  workload::Job* job = cluster.add_job(spec);
+  cluster.start_all();
+
+  sim.run_until(sim::seconds(40));
+
+  const double horizon = sim::to_seconds(sim.now());
+  const double legacy_gbps = legacy_done_bytes * 8.0 / horizon * 1e-9;
+  const auto comms = job->comm_times_seconds();
+  std::vector<double> rates;
+  for (std::size_t i = 1; i < comms.size(); ++i) {
+    rates.push_back(bytes * 8.0 / comms[i] * 1e-9);
+  }
+  const double job_gbps = analysis::mean(rates);
+  std::printf("legacy Reno long-term rate: %.3f Gbps (link 1 Gbps)\n",
+              legacy_gbps);
+  std::printf("MLTCP job rate during its comm phases: %.3f Gbps\n", job_gbps);
+  std::printf("legacy starved: %s (paper: MLTCP claims more bandwidth but "
+              "never starves legacy flows)\n",
+              legacy_gbps < 0.05 ? "YES (unexpected)" : "no");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduces the §5 fairness discussion of MLTCP "
+              "(HotNets'24).\n");
+  loss_response();
+  persistent_share();
+  coexistence();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 1: traffic pattern (bandwidth vs. time) of jobs J1 (GPT-3-like) and
+// J2..J4 (GPT-2-like) when each runs in isolation on the dumbbell.
+//
+// The paper measured these on an 8xA100 testbed at 50 Gbps; here each job
+// runs alone on the scaled 1 Gbps bottleneck and we bin the bottleneck
+// transmissions into 50 ms buckets. Expect rectangular on/off periodic
+// demand: ~0.3 s of full-rate communication every 1.2 s for GPT-3 and
+// ~0.27 s every 1.8 s for GPT-2.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mltcp;
+
+void run_isolated(const workload::ModelProfile& profile,
+                  const std::string& label) {
+  auto exp = bench::make_experiment();
+  bench::ProfileJobOptions opts;
+  opts.max_iterations = 4;
+  workload::Job* job = bench::add_profile_job(*exp, profile, 0,
+                                              core::reno_factory(), opts);
+  auto* binner =
+      bench::bottleneck_binner_for_job(*exp, 0, sim::milliseconds(50));
+
+  exp->cluster->start_all();
+  exp->sim.run_until(sim::seconds(8));
+
+  bench::print_header("Figure 1: " + label + " (" + profile.model_name +
+                      ") traffic pattern");
+  std::printf("time_s,rate_gbps\n");
+  for (std::size_t i = 0; i < binner->bin_count(); ++i) {
+    std::printf("%.3f,%.4f\n", sim::to_seconds(binner->bin_time(i)),
+                binner->rate_gbps(i));
+  }
+  const auto iters = job->iteration_times_seconds();
+  bench::print_series("iteration_times_s", iters);
+  const auto comms = job->comm_times_seconds();
+  bench::print_series("comm_times_s", comms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduces Figure 1 of MLTCP (HotNets'24): periodic on/off\n"
+              "communication patterns of DNN training jobs in isolation.\n");
+  run_isolated(workload::gpt3_profile(), "J1");
+  run_isolated(workload::gpt2_profile(), "J2");
+  run_isolated(workload::gpt2_profile(), "J3");
+  run_isolated(workload::gpt2_profile(), "J4");
+  return 0;
+}

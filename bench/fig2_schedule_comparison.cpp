@@ -1,0 +1,216 @@
+// Figure 2: four DNN jobs (J1 = GPT-3-like, J2..J4 = GPT-2-like) on one
+// bottleneck under three schedulers:
+//  (a) the centralized optimal (Cassini-like offset optimizer + plain Reno),
+//  (b) SRPT (pFabric: priority-dropping switch + line-rate senders),
+//  (c) MLTCP-Reno starting from the worst case (all comms aligned).
+//
+// Paper's shape: optimal gives J1 its ideal 1.2 s and J2..J4 their 1.8 s;
+// pFabric keeps J2..J4 near ideal but slows J1 ~1.5x by head-of-line
+// blocking; MLTCP converges within ~20 iterations to within ~5% of optimal
+// and stays there (§2 "Approximation error").
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "bench_common.hpp"
+#include "sched/centralized.hpp"
+#include "sched/pfabric.hpp"
+
+namespace {
+
+using namespace mltcp;
+
+constexpr int kIterations = 100;
+
+/// Guard band added to each job's scheduled communication slot: absorbs the
+/// ACK-tail latency and queueing jitter of a real transfer so a job that
+/// runs a few ms long can fall back to its slot instead of drifting.
+constexpr sim::SimTime kSlotGuard = sim::milliseconds(10);
+
+/// Wire-level duration of one communication phase: payload bytes inflated by
+/// the MTU/payload header overhead, plus the scheduling guard band.
+sim::SimTime wire_comm_time(const workload::ModelProfile& p, double rate_bps) {
+  const std::int64_t payload = workload::comm_bytes(p, rate_bps);
+  const double wire_bytes = static_cast<double>(payload) * 1500.0 / 1460.0;
+  return sim::from_seconds(wire_bytes * 8.0 / rate_bps) + kSlotGuard;
+}
+
+struct JobSetup {
+  workload::ModelProfile profile;
+  int host_index;
+};
+
+std::vector<JobSetup> setups() {
+  return {{workload::gpt3_profile(), 0},
+          {workload::gpt2_profile(), 1},
+          {workload::gpt2_profile(), 2},
+          {workload::gpt2_profile(), 3}};
+}
+
+/// Period-harmonization pads (§4 scopes MLTCP to scenarios where an
+/// interleaved schedule exists; with header-inflated wire times the nominal
+/// 1.2s:1.8s periods are no longer exactly 2:3, so each job's compute time
+/// is padded by a few ms to restore commensurate periods — the alignment a
+/// Cassini-style controller performs, applied uniformly to every scheduler).
+std::vector<sim::SimTime> compute_pads(double rate_bps) {
+  std::vector<sched::JobTiming> timings;
+  for (const auto& s : setups()) {
+    timings.push_back(sched::JobTiming{s.profile.ideal_iteration_time,
+                                       wire_comm_time(s.profile, rate_bps),
+                                       workload::compute_time(s.profile)});
+  }
+  return sched::harmonize_compute_pads(timings);
+}
+
+struct RunReport {
+  std::vector<double> mean_iteration;  // per job, converged (last 10)
+  std::vector<double> overall_mean;    // per job, all iterations
+  int convergence_iteration = -1;
+};
+
+RunReport report_jobs(const std::vector<workload::Job*>& jobs,
+                      const char* label) {
+  RunReport rep;
+  bench::print_header(std::string("Figure 2: ") + label);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto times = jobs[j]->iteration_times_seconds();
+    rep.mean_iteration.push_back(analysis::tail_mean(times, 10));
+    rep.overall_mean.push_back(analysis::mean(times));
+    std::printf(
+        "%-8s ideal %.3fs | mean %.3fs | converged(last-10) %.3fs\n",
+        jobs[j]->name().c_str(),
+        sim::to_seconds(j == 0 ? workload::gpt3_profile().ideal_iteration_time
+                               : workload::gpt2_profile().ideal_iteration_time),
+        rep.overall_mean.back(), rep.mean_iteration.back());
+  }
+
+  // Convergence iteration: first index after which every job stays within 5%
+  // of its converged (last-10) level.
+  int conv = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto times = jobs[j]->iteration_times_seconds();
+    const double target = rep.mean_iteration[j] * 1.05;
+    int last_bad = -1;
+    for (std::size_t i = 0; i + 10 < times.size(); ++i) {
+      if (times[i] > target) last_bad = static_cast<int>(i);
+    }
+    conv = std::max(conv, last_bad + 1);
+  }
+  rep.convergence_iteration = conv;
+  std::printf("converged by iteration: %d\n", conv);
+  return rep;
+}
+
+RunReport run_centralized() {
+  auto exp = bench::make_experiment();
+  const double rate = exp->scenario.bottleneck_rate_bps;
+
+  // The central controller sees each job's harmonized period and wire comm
+  // duration and solves for interleaving offsets.
+  const auto pads = compute_pads(rate);
+  std::vector<sched::PeriodicDemand> demands;
+  const auto cfg0 = setups();
+  for (std::size_t i = 0; i < cfg0.size(); ++i) {
+    const auto& s = cfg0[i];
+    const sim::SimTime wire = wire_comm_time(s.profile, rate);
+    demands.push_back(sched::PeriodicDemand{
+        s.profile.model_name,
+        wire + workload::compute_time(s.profile) + pads[i], wire});
+  }
+  const sched::Schedule schedule = sched::optimize_interleaving(demands);
+  std::printf("\ncentralized optimizer: hyperperiod %.1fs, excess %.6fs\n",
+              sim::to_seconds(schedule.hyperperiod),
+              sim::to_seconds(schedule.excess));
+
+  std::vector<workload::Job*> jobs;
+  const auto cfg = setups();
+  for (std::size_t i = 0; i < cfg.size(); ++i) {
+    bench::ProfileJobOptions opts;
+    opts.max_iterations = kIterations;
+    opts.start_time = schedule.offsets[i];
+    opts.extra_compute = pads[i];
+    opts.gate_period = demands[i].period;  // Cassini-style slot enforcement
+    jobs.push_back(bench::add_profile_job(*exp, cfg[i].profile,
+                                          cfg[i].host_index,
+                                          core::reno_factory(), opts));
+  }
+  exp->cluster->start_all();
+  exp->sim.run_until(sim::seconds(260));
+  return report_jobs(jobs, "(a) centralized optimal (Cassini-like)");
+}
+
+RunReport run_pfabric() {
+  bench::ScenarioConfig scenario;
+  // pFabric: shallow priority-dropping buffers at the bottleneck.
+  scenario.bottleneck_queue = net::make_pfabric_factory(36 * 1500);
+  auto exp = bench::make_experiment(scenario);
+
+  const auto pads = compute_pads(scenario.bottleneck_rate_bps);
+  std::vector<workload::Job*> jobs;
+  const auto cfg = setups();
+  for (std::size_t i = 0; i < cfg.size(); ++i) {
+    bench::ProfileJobOptions opts;
+    opts.max_iterations = kIterations;
+    opts.pfabric_priority = true;
+    opts.extra_compute = pads[i];
+    jobs.push_back(bench::add_profile_job(*exp, cfg[i].profile,
+                                          cfg[i].host_index,
+                                          sched::pfabric_factory(), opts));
+  }
+  exp->cluster->start_all();
+  exp->sim.run_until(sim::seconds(260));
+  return report_jobs(jobs, "(b) SRPT (pFabric)");
+}
+
+RunReport run_mltcp() {
+  auto exp = bench::make_experiment();
+  const auto pads = compute_pads(exp->scenario.bottleneck_rate_bps);
+  std::vector<workload::Job*> jobs;
+  const auto setup = setups();
+  for (std::size_t i = 0; i < setup.size(); ++i) {
+    const auto& s = setup[i];
+    bench::ProfileJobOptions opts;
+    opts.max_iterations = kIterations;
+    opts.extra_compute = pads[i];
+    const core::MltcpConfig cfg = bench::mltcp_config_for(
+        s.profile, exp->scenario.bottleneck_rate_bps, opts.num_flows);
+    jobs.push_back(bench::add_profile_job(*exp, s.profile, s.host_index,
+                                          core::mltcp_reno_factory(cfg),
+                                          opts));
+  }
+  exp->cluster->start_all();
+  exp->sim.run_until(sim::seconds(260));
+  return report_jobs(jobs, "(c) MLTCP-Reno (all jobs start together)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduces Figure 2 of MLTCP (HotNets'24): scheduler "
+              "comparison for 1 GPT-3-like + 3 GPT-2-like jobs.\n");
+
+  const RunReport optimal = run_centralized();
+  const RunReport pfabric = run_pfabric();
+  const RunReport mltcp = run_mltcp();
+
+  bench::print_header("Summary (converged iteration times, seconds)");
+  std::printf("%-10s %10s %10s %10s %14s\n", "job", "optimal", "pfabric",
+              "mltcp", "mltcp/optimal");
+  const char* names[] = {"J1(gpt3)", "J2(gpt2)", "J3(gpt2)", "J4(gpt2)"};
+  for (int j = 0; j < 4; ++j) {
+    std::printf("%-10s %10.3f %10.3f %10.3f %13.1f%%\n", names[j],
+                optimal.mean_iteration[j], pfabric.mean_iteration[j],
+                mltcp.mean_iteration[j],
+                100.0 * (mltcp.mean_iteration[j] / optimal.mean_iteration[j] -
+                         1.0));
+  }
+  std::printf("\nJ1 slowdown under pFabric vs optimal: %.2fx "
+              "(paper: ~1.5x)\n",
+              pfabric.mean_iteration[0] / optimal.mean_iteration[0]);
+  std::printf("MLTCP converged by iteration %d (paper: ~20)\n",
+              mltcp.convergence_iteration);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 3: three GPT-2 jobs run MLTCP-Reno under each of the six candidate
+// bandwidth aggressiveness functions. The increasing functions F1..F4 drive
+// the jobs into an interleaved state (iteration time decays to the ideal
+// within a few tens of iterations); the decreasing functions F5, F6 never
+// improve.
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "bench_common.hpp"
+#include "core/aggressiveness.hpp"
+
+namespace {
+
+using namespace mltcp;
+
+constexpr int kJobs = 3;
+constexpr int kIterations = 70;
+
+std::vector<double> run_function(int f_index) {
+  auto exp = bench::make_experiment();
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+
+  std::shared_ptr<const core::AggressivenessFunction> f =
+      core::make_figure3_function(f_index);
+
+  std::vector<workload::Job*> jobs;
+  for (int i = 0; i < kJobs; ++i) {
+    bench::ProfileJobOptions opts;
+    opts.max_iterations = kIterations;
+    const core::MltcpConfig cfg = bench::mltcp_config_for(
+        gpt2, exp->scenario.bottleneck_rate_bps, opts.num_flows);
+    jobs.push_back(bench::add_profile_job(
+        *exp, gpt2, i, core::mltcp_reno_factory(cfg, f), opts));
+  }
+  exp->cluster->start_all();
+  exp->sim.run_until(sim::seconds(240));
+
+  // Average iteration time across jobs, per iteration index.
+  std::vector<double> avg(kIterations, 0.0);
+  int completed = kIterations;
+  for (workload::Job* job : jobs) {
+    const auto times = job->iteration_times_seconds();
+    completed = std::min<int>(completed, static_cast<int>(times.size()));
+    for (int i = 0; i < static_cast<int>(times.size()) && i < kIterations;
+         ++i) {
+      avg[i] += times[i] / kJobs;
+    }
+  }
+  avg.resize(completed);
+  return avg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduces Figure 3 of MLTCP (HotNets'24): average iteration\n"
+              "time vs iteration number for aggressiveness functions F1..F6\n"
+              "(three GPT-2 jobs, MLTCP-Reno).\n");
+
+  std::vector<std::vector<double>> series;
+  for (int f = 1; f <= 6; ++f) {
+    series.push_back(run_function(f));
+    const auto check =
+        core::check_aggressiveness(*core::make_figure3_function(f));
+    std::printf("F%d: range [%.2f, %.2f], monotone-nondecreasing=%s\n", f,
+                check.min_value, check.max_value,
+                check.derivative_non_negative ? "yes" : "no");
+  }
+
+  bench::print_header("Figure 3: avg iteration time (ms) per iteration");
+  auto csv = bench::open_csv(
+      "fig3_aggressiveness", {"iter", "F1", "F2", "F3", "F4", "F5", "F6"});
+  std::printf("iter");
+  for (int f = 1; f <= 6; ++f) std::printf(",F%d", f);
+  std::printf("\n");
+  for (int i = 0; i < kIterations; ++i) {
+    std::printf("%d", i + 1);
+    std::vector<double> row = {static_cast<double>(i + 1)};
+    for (const auto& s : series) {
+      if (i < static_cast<int>(s.size())) {
+        std::printf(",%.0f", s[i] * 1000.0);
+        row.push_back(s[i] * 1000.0);
+      } else {
+        std::printf(",");
+        row.push_back(0.0);
+      }
+    }
+    csv->row(row);
+    std::printf("\n");
+  }
+
+  bench::print_header("Converged (last-10 mean, ms) per function");
+  const double ideal_ms =
+      sim::to_milliseconds(workload::gpt2_profile().ideal_iteration_time);
+  for (int f = 1; f <= 6; ++f) {
+    const double tail = analysis::tail_mean(series[f - 1], 10) * 1000.0;
+    std::printf("F%d: %.0f ms (ideal %.0f ms) -> %s\n", f, tail, ideal_ms,
+                tail < ideal_ms * 1.08 ? "interleaved" : "NOT interleaved");
+  }
+  std::printf("\nExpected shape: F1..F4 reach the ideal; F5, F6 do not.\n");
+  return 0;
+}

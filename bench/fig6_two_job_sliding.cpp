@@ -1,0 +1,86 @@
+// Figure 6: two GPT-2 jobs start with fully overlapping communication
+// phases; MLTCP-Reno slides them apart over a few iterations until they are
+// interleaved. We print (i) the per-iteration start-time offset between the
+// jobs and their comm durations, and (ii) the per-job bottleneck bandwidth
+// in 100 ms bins, which renders the same picture as the paper's figure.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mltcp;
+
+constexpr int kIterations = 30;
+
+}  // namespace
+
+int main() {
+  std::printf("Reproduces Figure 6 of MLTCP (HotNets'24): two GPT-2 jobs "
+              "sliding into interleaving.\n");
+
+  auto exp = bench::make_experiment();
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+
+  std::vector<workload::Job*> jobs;
+  for (int i = 0; i < 2; ++i) {
+    bench::ProfileJobOptions opts;
+    opts.max_iterations = kIterations;
+    const core::MltcpConfig cfg = bench::mltcp_config_for(
+        gpt2, exp->scenario.bottleneck_rate_bps, opts.num_flows);
+    jobs.push_back(bench::add_profile_job(
+        *exp, gpt2, i, core::mltcp_reno_factory(cfg), opts));
+  }
+  std::vector<sim::RateBinner*> binners;
+  for (std::size_t j = 0; j < 2; ++j) {
+    binners.push_back(
+        bench::bottleneck_binner_for_job(*exp, j, sim::milliseconds(100)));
+  }
+
+  exp->cluster->start_all();
+  exp->sim.run_until(sim::seconds(70));
+
+  bench::print_header("per-iteration shift (offset between comm starts)");
+  auto csv = bench::open_csv(
+      "fig6_sliding",
+      {"iter", "offset_s", "comm0_s", "comm1_s", "iter0_s", "iter1_s"});
+  std::printf("iter,offset_s,comm0_s,comm1_s,iter0_s,iter1_s\n");
+  const double period = sim::to_seconds(gpt2.ideal_iteration_time);
+  const auto& r0 = jobs[0]->iterations();
+  const auto& r1 = jobs[1]->iterations();
+  const std::size_t n = std::min(r0.size(), r1.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    double offset =
+        std::fmod(sim::to_seconds(r1[i].comm_start - r0[i].comm_start),
+                  period);
+    if (offset < 0) offset += period;
+    const double comm0 = sim::to_seconds(r0[i].comm_end - r0[i].comm_start);
+    const double comm1 = sim::to_seconds(r1[i].comm_end - r1[i].comm_start);
+    const double it0 = sim::to_seconds(r0[i].iter_end - r0[i].comm_start);
+    const double it1 = sim::to_seconds(r1[i].iter_end - r1[i].comm_start);
+    std::printf("%zu,%.3f,%.3f,%.3f,%.3f,%.3f\n", i, offset, comm0, comm1,
+                it0, it1);
+    csv->row(std::vector<double>{static_cast<double>(i), offset, comm0,
+                                 comm1, it0, it1});
+  }
+
+  bench::print_header("bandwidth (Gbps, 100ms bins, first 15s)");
+  std::printf("time_s,job0,job1\n");
+  for (std::size_t b = 0; b < 150 && b < binners[0]->bin_count(); ++b) {
+    std::printf("%.1f,%.3f,%.3f\n", sim::to_seconds(binners[0]->bin_time(b)),
+                binners[0]->rate_gbps(b),
+                b < binners[1]->bin_count() ? binners[1]->rate_gbps(b) : 0.0);
+  }
+
+  const double tail0 =
+      analysis::tail_mean(jobs[0]->iteration_times_seconds(), 5);
+  const double tail1 =
+      analysis::tail_mean(jobs[1]->iteration_times_seconds(), 5);
+  std::printf("\nconverged iteration times: %.3fs / %.3fs (ideal %.3fs)\n",
+              tail0, tail1, period);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Engine microbenchmarks (google-benchmark): event-queue throughput, the
+// packet forwarding path, aggressiveness-function evaluation and the
+// Algorithm 1 tracker — the per-ACK costs that would sit on the kernel
+// hot path in a real deployment.
+
+#include <benchmark/benchmark.h>
+
+#include "core/aggressiveness.hpp"
+#include "core/iteration_tracker.hpp"
+#include "core/mltcp.hpp"
+#include "net/topology.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+
+namespace {
+
+using namespace mltcp;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 1024; ++i) q.schedule(i * 7 % 997, [] {});
+    while (!q.empty()) q.pop_and_run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_AggressivenessLinear(benchmark::State& state) {
+  core::LinearAggressiveness f;
+  double r = 0.0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += f(r);
+    r += 1e-6;
+    if (r > 1.0) r = 0.0;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_AggressivenessLinear);
+
+void BM_IterationTrackerOnAck(benchmark::State& state) {
+  core::TrackerConfig cfg;
+  cfg.total_bytes = 10'000'000;
+  cfg.comp_time = sim::milliseconds(100);
+  core::IterationTracker tracker(cfg);
+  sim::SimTime now = 1;
+  for (auto _ : state) {
+    tracker.on_ack(2, now);
+    now += sim::microseconds(10);
+  }
+  benchmark::DoNotOptimize(tracker.bytes_ratio());
+}
+BENCHMARK(BM_IterationTrackerOnAck);
+
+void BM_PacketTransferOneMegabyte(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::DumbbellConfig cfg;
+    cfg.hosts_per_side = 1;
+    auto d = net::make_dumbbell(sim, cfg);
+    tcp::TcpFlow flow(sim, *d.left[0], *d.right[0], 1,
+                      std::make_unique<tcp::RenoCC>());
+    bool done = false;
+    flow.send_message(1'000'000, [&](sim::SimTime) { done = true; });
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_PacketTransferOneMegabyte);
+
+}  // namespace

@@ -1,0 +1,166 @@
+// A mixed ML datacenter: one GPT-3-like job and three GPT-2-like jobs share
+// a dumbbell bottleneck (the paper's §2 motivating scenario). Pick the
+// scheduler on the command line and compare:
+//
+//   ./build/examples/datacenter_mix reno         # fair-share baseline
+//   ./build/examples/datacenter_mix mltcp        # distributed MLTCP-Reno
+//   ./build/examples/datacenter_mix pfabric      # SRPT via priority fabric
+//   ./build/examples/datacenter_mix centralized  # Cassini-like offsets
+//
+// Optional second argument: iterations to run (default 60).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "core/mltcp.hpp"
+#include "net/topology.hpp"
+#include "sched/centralized.hpp"
+#include "sched/pfabric.hpp"
+#include "sim/simulator.hpp"
+#include "workload/cluster.hpp"
+#include "workload/collective.hpp"
+#include "workload/profiles.hpp"
+
+using namespace mltcp;
+
+namespace {
+
+constexpr double kRate = 1e9;
+constexpr int kFlowsPerJob = 4;
+
+struct JobPlan {
+  workload::ModelProfile profile;
+  sim::SimTime start = 0;
+  sim::SimTime gate_period = 0;
+  sim::SimTime compute_pad = 0;
+};
+
+sim::SimTime wire_comm(const workload::ModelProfile& p) {
+  const double wire_bytes = workload::comm_bytes(p, kRate) * 1500.0 / 1460.0;
+  return sim::from_seconds(wire_bytes * 8.0 / kRate) + sim::milliseconds(10);
+}
+
+int run(const std::string& scheduler, int iterations) {
+  std::vector<JobPlan> plans = {{workload::gpt3_profile()},
+                                {workload::gpt2_profile()},
+                                {workload::gpt2_profile()},
+                                {workload::gpt2_profile()}};
+
+  // Period harmonization so an interleaved schedule exists (see DESIGN.md).
+  std::vector<sched::JobTiming> timings;
+  for (const auto& p : plans) {
+    timings.push_back(sched::JobTiming{p.profile.ideal_iteration_time,
+                                       wire_comm(p.profile),
+                                       workload::compute_time(p.profile)});
+  }
+  const auto pads = sched::harmonize_compute_pads(timings);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    plans[i].compute_pad = pads[i];
+  }
+
+  if (scheduler == "centralized") {
+    std::vector<sched::PeriodicDemand> demands;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      demands.push_back(sched::PeriodicDemand{
+          plans[i].profile.model_name,
+          timings[i].wire_comm + timings[i].compute + pads[i],
+          timings[i].wire_comm});
+    }
+    const sched::Schedule schedule = sched::optimize_interleaving(demands);
+    std::printf("centralized schedule: excess %.4fs, offsets",
+                sim::to_seconds(schedule.excess));
+    for (const auto off : schedule.offsets) {
+      std::printf(" %.3fs", sim::to_seconds(off));
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      plans[i].start = schedule.offsets[i];
+      plans[i].gate_period = demands[i].period;
+    }
+  }
+
+  sim::Simulator sim;
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.hosts_per_side = static_cast<int>(plans.size());
+  topo_cfg.bottleneck_rate_bps = kRate;
+  if (scheduler == "pfabric") {
+    topo_cfg.bottleneck_queue = net::make_pfabric_factory(36 * 1500);
+  }
+  net::Dumbbell d = net::make_dumbbell(sim, topo_cfg);
+  workload::Cluster cluster(sim);
+
+  std::vector<workload::Job*> jobs;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const auto& plan = plans[i];
+    workload::JobSpec spec;
+    spec.name = plan.profile.model_name + "-" + std::to_string(i);
+    const std::int64_t bytes = workload::comm_bytes(plan.profile, kRate);
+    for (int f = 0; f < kFlowsPerJob; ++f) {
+      spec.flows.push_back(workload::FlowSpec{
+          d.left[i], d.right[i], bytes / kFlowsPerJob});
+    }
+    spec.compute_time =
+        workload::compute_time(plan.profile) + plan.compute_pad;
+    spec.start_time = plan.start;
+    spec.gate_period = plan.gate_period;
+    spec.max_iterations = iterations;
+
+    if (scheduler == "mltcp") {
+      core::MltcpConfig cfg;
+      cfg.tracker.total_bytes = bytes / kFlowsPerJob;
+      cfg.tracker.comp_time = workload::compute_time(plan.profile) / 2;
+      spec.cc = core::mltcp_reno_factory(cfg);
+    } else if (scheduler == "pfabric") {
+      spec.cc = sched::pfabric_factory();
+      spec.sender.pfabric_priority = true;
+    } else {
+      spec.cc = core::reno_factory();
+    }
+    jobs.push_back(cluster.add_job(spec));
+  }
+
+  cluster.start_all();
+  sim.run_until(sim::seconds(4 + iterations * 2));
+
+  std::printf("\nscheduler: %s (%d iterations)\n", scheduler.c_str(),
+              iterations);
+  std::printf("%-10s %10s %12s %12s\n", "job", "ideal_s", "mean_s",
+              "converged_s");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto times = jobs[i]->iteration_times_seconds();
+    std::printf("%-10s %10.3f %12.3f %12.3f\n", jobs[i]->name().c_str(),
+                sim::to_seconds(plans[i].profile.ideal_iteration_time),
+                analysis::mean(times), analysis::tail_mean(times, 10));
+  }
+
+  sim::SimTime end = 0;
+  for (const workload::Job* job : jobs) {
+    if (!job->iterations().empty()) {
+      end = std::max(end, job->iterations().back().comm_end);
+    }
+  }
+  std::vector<const workload::Job*> cjobs(jobs.begin(), jobs.end());
+  std::printf("comm overlap in final 15s: %.3fs (0 = fully interleaved)\n",
+              analysis::comm_overlap_seconds(cjobs, end - sim::seconds(15),
+                                             end));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string scheduler = argc > 1 ? argv[1] : "mltcp";
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 60;
+  if (scheduler != "reno" && scheduler != "mltcp" && scheduler != "pfabric" &&
+      scheduler != "centralized") {
+    std::fprintf(stderr,
+                 "usage: %s [reno|mltcp|pfabric|centralized] [iterations]\n",
+                 argv[0]);
+    return 2;
+  }
+  return run(scheduler, iterations);
+}

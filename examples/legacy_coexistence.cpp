@@ -1,0 +1,99 @@
+// Traffic-class coexistence (§5): the paper modifies NCCL's FAST-socket
+// plugin so each traffic class can select its own congestion control and
+// aggressiveness function. This example models that: a per-class CC registry
+// assigns MLTCP-Reno to training traffic, plain Reno to background bulk
+// transfers, and a high-aggressiveness MLTCP function to a latency-sensitive
+// class, all sharing one bottleneck.
+//
+//   ./build/examples/legacy_coexistence
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "analysis/metrics.hpp"
+#include "core/mltcp.hpp"
+#include "core/traffic_class.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "workload/cluster.hpp"
+#include "workload/collective.hpp"
+#include "workload/profiles.hpp"
+
+using namespace mltcp;
+
+int main() {
+  std::printf("§5 coexistence demo: per-traffic-class congestion control.\n");
+
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+  const std::int64_t train_bytes = workload::comm_bytes(gpt2, 1e9);
+
+  // The FAST-socket-plugin analogue (§5): per-class congestion control.
+  core::MltcpConfig train_cfg;
+  train_cfg.tracker.total_bytes = train_bytes;
+  train_cfg.tracker.comp_time = workload::compute_time(gpt2) / 2;
+  const core::TrafficClassRegistry registry =
+      core::TrafficClassRegistry::with_defaults(train_cfg);
+
+  sim::Simulator sim;
+  net::DumbbellConfig topo_cfg;
+  topo_cfg.hosts_per_side = 4;
+  net::Dumbbell d = net::make_dumbbell(sim, topo_cfg);
+  workload::Cluster cluster(sim);
+
+  // Two MLTCP training jobs.
+  for (int i = 0; i < 2; ++i) {
+    workload::JobSpec spec;
+    spec.name = "train-" + std::to_string(i);
+    spec.flows = workload::single_flow(d.left[i], d.right[i], train_bytes);
+    spec.compute_time = workload::compute_time(gpt2);
+    spec.max_iterations = 15;
+    spec.cc = registry.factory("training");
+    cluster.add_job(spec);
+  }
+
+  // A legacy bulk flow that must not starve.
+  tcp::TcpFlow bulk(sim, *d.left[2], *d.right[2], 900,
+                    registry.make("bulk"));
+  std::int64_t bulk_bytes = 0;
+  std::function<void(sim::SimTime)> refill = [&](sim::SimTime) {
+    bulk_bytes += 8'000'000;
+    bulk.send_message(8'000'000, refill);
+  };
+  bulk.send_message(8'000'000, refill);
+
+  // Short latency-sensitive requests, one per 100 ms.
+  tcp::TcpFlow latency(sim, *d.left[3], *d.right[3], 901,
+                       registry.make("latency"));
+  std::vector<double> request_latencies;
+  std::function<void()> issue_request = [&] {
+    const sim::SimTime start = sim.now();
+    latency.send_message(200'000, [&, start](sim::SimTime done) {
+      request_latencies.push_back(sim::to_milliseconds(done - start));
+    });
+    sim.schedule(sim::milliseconds(100), issue_request);
+  };
+  sim.schedule(sim::milliseconds(50), issue_request);
+
+  cluster.start_all();
+  sim.run_until(sim::seconds(30));
+
+  std::printf("\nover %.0fs on a 1 Gbps bottleneck:\n",
+              sim::to_seconds(sim.now()));
+  for (std::size_t i = 0; i < cluster.job_count(); ++i) {
+    const auto times = cluster.job(i)->iteration_times_seconds();
+    std::printf("  %-9s iterations %2d, converged iter time %.3fs "
+                "(ideal %.3fs)\n",
+                cluster.job(i)->name().c_str(),
+                cluster.job(i)->completed_iterations(),
+                analysis::tail_mean(times, 5),
+                sim::to_seconds(gpt2.ideal_iteration_time));
+  }
+  std::printf("  %-9s long-term rate %.3f Gbps (not starved)\n", "bulk",
+              bulk_bytes * 8.0 / sim::to_seconds(sim.now()) * 1e-9);
+  std::printf("  %-9s %zu requests, median latency %.1fms, p99 %.1fms\n",
+              "latency", request_latencies.size(),
+              analysis::percentile(request_latencies, 50),
+              analysis::percentile(request_latencies, 99));
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "analysis/flow_monitor.hpp"
+
+#include <cassert>
+
+namespace mltcp::analysis {
+
+FlowMonitor::FlowMonitor(sim::Simulator& simulator,
+                         const tcp::TcpSender& sender, sim::SimTime interval)
+    : sim_(simulator), sender_(sender), interval_(interval) {
+  assert(interval > 0);
+  event_ = sim_.schedule(0, [this] { sample(); });
+}
+
+FlowMonitor::~FlowMonitor() { stop(); }
+
+void FlowMonitor::stop() {
+  stopped_ = true;
+  if (event_ != sim::kInvalidEventId) {
+    sim_.cancel(event_);
+    event_ = sim::kInvalidEventId;
+  }
+}
+
+void FlowMonitor::sample() {
+  if (stopped_) return;
+  FlowSample s;
+  s.when = sim_.now();
+  s.cwnd = sender_.cc().cwnd();
+  s.ssthresh = sender_.cc().ssthresh();
+  s.gain = sender_.cc().window_gain().gain();
+  s.srtt = sender_.rtt().srtt();
+  s.inflight = sender_.inflight();
+  s.segments_acked = sender_.stats().segments_acked;
+  samples_.push_back(s);
+  event_ = sim_.schedule(interval_, [this] { sample(); });
+}
+
+double FlowMonitor::mean_cwnd(sim::SimTime from, sim::SimTime to) const {
+  double sum = 0.0;
+  int n = 0;
+  for (const auto& s : samples_) {
+    if (s.when >= from && s.when < to) {
+      sum += s.cwnd;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+double FlowMonitor::ack_rate(sim::SimTime from, sim::SimTime to) const {
+  const FlowSample* first = nullptr;
+  const FlowSample* last = nullptr;
+  for (const auto& s : samples_) {
+    if (s.when >= from && s.when < to) {
+      if (first == nullptr) first = &s;
+      last = &s;
+    }
+  }
+  if (first == nullptr || last == nullptr || last->when <= first->when) {
+    return 0.0;
+  }
+  return static_cast<double>(last->segments_acked - first->segments_acked) /
+         sim::to_seconds(last->when - first->when);
+}
+
+}  // namespace mltcp::analysis

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "tcp/sender.hpp"
+
+namespace mltcp::analysis {
+
+/// One sample of a sender's transport state.
+struct FlowSample {
+  sim::SimTime when = 0;
+  double cwnd = 0.0;
+  double ssthresh = 0.0;
+  double gain = 0.0;  ///< WindowGain value (MLTCP's F(bytes_ratio)).
+  sim::SimTime srtt = 0;
+  std::int64_t inflight = 0;
+  std::int64_t segments_acked = 0;
+};
+
+/// Periodically samples one TcpSender's congestion state — the cwnd/gain
+/// time series that visualizes Eq. 1 at work. Sampling starts on
+/// construction and stops when the monitor is destroyed or stop() is called.
+class FlowMonitor {
+ public:
+  FlowMonitor(sim::Simulator& simulator, const tcp::TcpSender& sender,
+              sim::SimTime interval);
+  ~FlowMonitor();
+
+  FlowMonitor(const FlowMonitor&) = delete;
+  FlowMonitor& operator=(const FlowMonitor&) = delete;
+
+  void stop();
+
+  const std::vector<FlowSample>& samples() const { return samples_; }
+
+  /// Mean cwnd over samples in [from, to).
+  double mean_cwnd(sim::SimTime from, sim::SimTime to) const;
+
+  /// Throughput estimate over [from, to) from the acked-segment counter, in
+  /// segments per second.
+  double ack_rate(sim::SimTime from, sim::SimTime to) const;
+
+ private:
+  void sample();
+
+  sim::Simulator& sim_;
+  const tcp::TcpSender& sender_;
+  sim::SimTime interval_;
+  sim::EventId event_ = sim::kInvalidEventId;
+  bool stopped_ = false;
+  std::vector<FlowSample> samples_;
+};
+
+}  // namespace mltcp::analysis

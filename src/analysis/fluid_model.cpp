@@ -1,0 +1,106 @@
+#include "analysis/fluid_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mltcp::analysis {
+
+FluidSimulator::FluidSimulator(FluidConfig cfg, std::vector<FluidJobSpec> jobs)
+    : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  assert(!jobs.empty());
+  assert(cfg_.capacity > 0.0 && cfg_.dt > 0.0);
+  if (cfg_.f == nullptr) {
+    cfg_.f = std::make_shared<core::LinearAggressiveness>();
+  }
+  jobs_.reserve(jobs.size());
+  for (const auto& spec : jobs) {
+    assert(spec.comm_seconds > 0.0 && spec.compute_seconds >= 0.0);
+    JobState st;
+    st.spec = spec;
+    st.phase = JobState::Phase::kIdle;
+    st.next_wakeup = spec.start_offset;
+    jobs_.push_back(std::move(st));
+  }
+}
+
+void FluidSimulator::step(double dt) {
+  const double t_end = now_ + dt;
+
+  // Phase transitions into communication.
+  for (auto& j : jobs_) {
+    if (j.phase != JobState::Phase::kComm && j.next_wakeup <= now_) {
+      if (j.phase == JobState::Phase::kIdle ||
+          j.phase == JobState::Phase::kCompute) {
+        j.phase = JobState::Phase::kComm;
+        j.bytes_sent = 0.0;
+        j.comm_start = now_;
+      }
+    }
+  }
+
+  // Weighted sharing among active communicators.
+  double total_weight = 0.0;
+  int active = 0;
+  for (auto& j : jobs_) {
+    if (j.phase == JobState::Phase::kComm) {
+      const double ratio =
+          std::min(1.0, j.bytes_sent / (j.spec.comm_seconds * cfg_.capacity));
+      j.weight = (*cfg_.f)(ratio);
+      total_weight += j.weight;
+      ++active;
+    }
+  }
+  if (active > 1) excess_ += (active - 1) * dt;
+
+  for (auto& j : jobs_) {
+    if (j.phase != JobState::Phase::kComm) continue;
+    const double weight = j.weight;
+    const double rate =
+        total_weight > 0.0 ? cfg_.capacity * weight / total_weight : 0.0;
+    j.bytes_sent += rate * dt;
+    const double demand = j.spec.comm_seconds * cfg_.capacity;
+    if (j.bytes_sent >= demand - 1e-12) {
+      // Communication finished inside this step; start the compute phase.
+      const double overshoot =
+          rate > 0.0 ? (j.bytes_sent - demand) / rate : 0.0;
+      const double comm_end = std::max(now_, t_end - overshoot);
+      double compute = j.spec.compute_seconds;
+      if (j.spec.noise_stddev > 0.0) {
+        compute += rng_.normal(0.0, j.spec.noise_stddev);
+      }
+      compute = std::max(compute, 0.0);
+      j.records.push_back(FluidIteration{j.iteration, j.comm_start, comm_end,
+                                         comm_end + compute});
+      ++j.iteration;
+      j.phase = JobState::Phase::kCompute;
+      j.next_wakeup = comm_end + compute;
+    }
+  }
+
+  now_ = t_end;
+}
+
+void FluidSimulator::run_until(double t) {
+  while (now_ < t) step(std::min(cfg_.dt, t - now_));
+}
+
+void FluidSimulator::run_iterations(int iterations, double max_time) {
+  auto done = [&] {
+    for (const auto& j : jobs_) {
+      if (j.iteration < iterations) return false;
+    }
+    return true;
+  };
+  while (!done() && now_ < max_time) step(cfg_.dt);
+}
+
+std::vector<double> FluidSimulator::iteration_times(std::size_t job) const {
+  const auto& recs = jobs_.at(job).records;
+  std::vector<double> out;
+  out.reserve(recs.size());
+  for (const auto& r : recs) out.push_back(r.iter_end - r.comm_start);
+  return out;
+}
+
+}  // namespace mltcp::analysis

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/aggressiveness.hpp"
+#include "sim/random.hpp"
+
+namespace mltcp::analysis {
+
+/// Fluid (flow-level) model of MLTCP on a single bottleneck: active jobs
+/// share the capacity in proportion to their aggressiveness weights
+/// F(bytes_ratio), which is the steady-state bandwidth allocation the
+/// packet-level controller converges to within an RTT. Hundreds of jobs and
+/// thousands of iterations run in milliseconds, so this is the engine for
+/// convergence sweeps and the §4 noise-error experiments.
+struct FluidJobSpec {
+  /// Communication demand per iteration in capacity-seconds: the comm phase
+  /// lasts this long when the job has the link to itself.
+  double comm_seconds = 0.0;
+  /// Compute-phase duration in seconds.
+  double compute_seconds = 0.0;
+  /// When the job's first communication phase starts.
+  double start_offset = 0.0;
+  /// Std-dev of zero-mean Gaussian noise added to each compute phase.
+  double noise_stddev = 0.0;
+};
+
+struct FluidConfig {
+  double capacity = 1.0;  ///< Link capacity (normalized units/second).
+  double dt = 1e-3;       ///< Integration step in seconds.
+  /// Shared aggressiveness function; null = paper's linear 1.75r + 0.25.
+  /// A unit-gain function (constant 1) reproduces fair TCP sharing.
+  std::shared_ptr<const core::AggressivenessFunction> f;
+  std::uint64_t seed = 7;
+};
+
+struct FluidIteration {
+  int index = 0;
+  double comm_start = 0.0;
+  double comm_end = 0.0;
+  double iter_end = 0.0;
+};
+
+class FluidSimulator {
+ public:
+  FluidSimulator(FluidConfig cfg, std::vector<FluidJobSpec> jobs);
+
+  /// Advances the model until every job has completed at least
+  /// `iterations`; gives up at `max_time` seconds.
+  void run_iterations(int iterations, double max_time = 1e6);
+
+  /// Advances to absolute time `t`.
+  void run_until(double t);
+
+  double now() const { return now_; }
+  std::size_t job_count() const { return jobs_.size(); }
+
+  const std::vector<FluidIteration>& iterations(std::size_t job) const {
+    return jobs_.at(job).records;
+  }
+
+  /// Iteration durations (comm start to next comm start) of one job.
+  std::vector<double> iteration_times(std::size_t job) const;
+
+  /// Start time of job `job`'s most recent communication phase.
+  double last_comm_start(std::size_t job) const {
+    return jobs_.at(job).comm_start;
+  }
+
+  /// Sum over time of max(0, active_jobs - 1) since construction: the
+  /// "excess" contention metric matching sched::evaluate_excess.
+  double accumulated_excess() const { return excess_; }
+
+  /// Resets the excess accumulator (e.g. after a warm-up phase).
+  void reset_excess() { excess_ = 0.0; }
+
+ private:
+  struct JobState {
+    FluidJobSpec spec;
+    enum class Phase { kIdle, kComm, kCompute } phase = Phase::kIdle;
+    double bytes_sent = 0.0;    ///< Capacity-seconds already transferred.
+    double comm_start = 0.0;
+    double next_wakeup = 0.0;   ///< Comm start (kIdle) or compute end.
+    double weight = 0.0;        ///< F(bytes_ratio), refreshed each step.
+    int iteration = 0;
+    std::vector<FluidIteration> records;
+  };
+
+  void step(double dt);
+
+  FluidConfig cfg_;
+  std::vector<JobState> jobs_;
+  sim::Rng rng_;
+  double now_ = 0.0;
+  double excess_ = 0.0;
+};
+
+}  // namespace mltcp::analysis

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "workload/job.hpp"
+
+namespace mltcp::analysis {
+
+/// Arithmetic mean; 0 for an empty input.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 when fewer than 2 points.
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1 = perfectly fair.
+double jain_index(const std::vector<double>& xs);
+
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative_probability = 0.0;
+};
+
+/// Empirical CDF (sorted values with their cumulative probability).
+std::vector<CdfPoint> make_cdf(std::vector<double> xs);
+
+/// Time-weighted excess concurrency of half-open intervals inside [from,
+/// to): the integral of max(0, concurrent_intervals - 1), in seconds. Zero
+/// means no two intervals ever overlap within the window.
+double interval_overlap_seconds(
+    const std::vector<std::pair<sim::SimTime, sim::SimTime>>& intervals,
+    sim::SimTime from, sim::SimTime to);
+
+/// interval_overlap_seconds applied to the jobs' communication phases.
+/// Zero means the window was fully interleaved.
+double comm_overlap_seconds(const std::vector<const workload::Job*>& jobs,
+                            sim::SimTime from, sim::SimTime to);
+
+/// Mean of the last `window` entries (or all of them when fewer exist);
+/// the standard way the experiments report "converged" iteration times.
+double tail_mean(const std::vector<double>& xs, std::size_t window);
+
+}  // namespace mltcp::analysis

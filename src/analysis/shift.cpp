@@ -1,0 +1,128 @@
+#include "analysis/shift.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mltcp::analysis {
+
+double shift_eq3(double delta, const ShiftParams& p) {
+  assert(p.alpha > 0.0 && p.alpha <= 1.0);
+  assert(p.period > 0.0);
+  const double at = p.alpha * p.period;
+  assert(delta >= 0.0 && delta <= at + 1e-12);
+  const double denominator = at * p.intercept + delta * p.slope;
+  if (denominator <= 0.0) return 0.0;
+  return p.slope * delta * (at - delta) / denominator;
+}
+
+double shift(double delta, const ShiftParams& p) {
+  const double t = p.period;
+  delta = std::fmod(delta, t);
+  if (delta < 0.0) delta += t;
+  const double at = p.alpha * t;
+
+  if (delta <= at) return shift_eq3(delta, p);
+  if (delta >= t - at) return -shift_eq3(t - delta, p);
+  return 0.0;  // fully interleaved: no contention, no shift
+}
+
+double loss(double delta, const ShiftParams& p, int steps) {
+  assert(steps >= 2);
+  if (steps % 2 != 0) ++steps;  // Simpson needs an even interval count
+  if (delta == 0.0) return 0.0;
+  const double h = delta / steps;
+  auto f = [&](double x) { return -shift(x, p); };
+  double sum = f(0.0) + f(delta);
+  for (int i = 1; i < steps; ++i) {
+    sum += (i % 2 == 1 ? 4.0 : 2.0) * f(i * h);
+  }
+  return sum * h / 3.0;
+}
+
+DescentResult descend(double delta0, const ShiftParams& p, int max_iterations,
+                      double tolerance) {
+  DescentResult out;
+  double d = std::fmod(delta0, p.period);
+  if (d < 0.0) d += p.period;
+  out.trajectory.push_back(d);
+  for (int i = 0; i < max_iterations; ++i) {
+    const double s = shift(d, p);
+    if (std::fabs(s) < tolerance) {
+      out.converged = true;
+      out.iterations = i;
+      return out;
+    }
+    d += s;
+    d = std::fmod(d, p.period);
+    if (d < 0.0) d += p.period;
+    out.trajectory.push_back(d);
+  }
+  out.iterations = max_iterations;
+  return out;
+}
+
+double predicted_error_stddev(double sigma, double slope, double intercept) {
+  assert(sigma >= 0.0 && slope > 0.0 && intercept >= 0.0);
+  return 2.0 * sigma * (1.0 + intercept / slope);
+}
+
+double multi_job_loss(const std::vector<double>& offsets,
+                      const ShiftParams& p) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    for (std::size_t j = i + 1; j < offsets.size(); ++j) {
+      total += loss(offsets[j] - offsets[i], p);
+    }
+  }
+  return total;
+}
+
+std::vector<double> multi_job_step(const std::vector<double>& offsets,
+                                   const ShiftParams& p) {
+  std::vector<double> next(offsets.size());
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    double move = 0.0;
+    for (std::size_t j = 0; j < offsets.size(); ++j) {
+      if (j == i) continue;
+      // Positive when job i trails job j closely: i is pushed later.
+      move += shift(offsets[i] - offsets[j], p);
+    }
+    double d = std::fmod(offsets[i] + move, p.period);
+    if (d < 0.0) d += p.period;
+    next[i] = d;
+  }
+  return next;
+}
+
+MultiDescentResult multi_descend(std::vector<double> offsets,
+                                 const ShiftParams& p, int max_iterations,
+                                 double tolerance) {
+  MultiDescentResult out;
+  for (double& d : offsets) {
+    d = std::fmod(d, p.period);
+    if (d < 0.0) d += p.period;
+  }
+  out.trajectory.push_back(offsets);
+  for (int k = 0; k < max_iterations; ++k) {
+    double max_shift = 0.0;
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      for (std::size_t j = 0; j < offsets.size(); ++j) {
+        if (i != j) {
+          max_shift = std::max(
+              max_shift, std::fabs(shift(offsets[i] - offsets[j], p)));
+        }
+      }
+    }
+    if (max_shift < tolerance) {
+      out.converged = true;
+      out.iterations = k;
+      return out;
+    }
+    offsets = multi_job_step(offsets, p);
+    out.trajectory.push_back(offsets);
+  }
+  out.iterations = max_iterations;
+  return out;
+}
+
+}  // namespace mltcp::analysis

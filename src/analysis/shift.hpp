@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+namespace mltcp::analysis {
+
+/// Parameters of the two-job analysis of §4: both jobs have ideal iteration
+/// time `period` (T) and communication fraction `alpha` (a), and MLTCP runs
+/// the linear aggressiveness function F = slope * r + intercept.
+struct ShiftParams {
+  double slope = 1.75;
+  double intercept = 0.25;
+  double alpha = 0.5;    ///< Communication fraction a (0 < a <= 1).
+  double period = 1.8;   ///< Ideal iteration time T in seconds.
+};
+
+/// Eq. 3 on its native domain [0, a*T]:
+///   Shift(D) = slope * D * (a*T - D) / (a*T * intercept + D * slope).
+double shift_eq3(double delta, const ShiftParams& p);
+
+/// The shift extended to the whole offset circle [0, T): positive (pushing
+/// the offset up) while the trailing job overlaps, zero in the fully
+/// interleaved band [a*T, T - a*T], and antisymmetric near T where the roles
+/// of the two jobs swap. `delta` is reduced modulo T.
+double shift(double delta, const ShiftParams& p);
+
+/// Eq. 4: Loss(D) = -integral_0^D Shift(x) dx, computed by Simpson's rule
+/// on the extended shift. Minimal on the interleaved band; for a = 1/2 the
+/// unique minimum is at D = T/2 (Figure 5c).
+double loss(double delta, const ShiftParams& p, int steps = 2000);
+
+/// One gradient-descent trajectory: D_{i+1} = D_i + Shift(D_i) (§4: "MLTCP
+/// performs a gradient descent on the loss function").
+struct DescentResult {
+  std::vector<double> trajectory;  ///< D_0 .. D_n (n = iterations run).
+  bool converged = false;          ///< |Shift| fell below tolerance.
+  int iterations = 0;              ///< Steps taken until convergence/cap.
+};
+
+DescentResult descend(double delta0, const ShiftParams& p,
+                      int max_iterations = 1000, double tolerance = 1e-6);
+
+/// §4's closed-form bound: under zero-mean Gaussian iteration-time noise of
+/// standard deviation sigma per job, the steady-state convergence error is
+/// normal with standard deviation 2 * sigma * (1 + intercept / slope).
+double predicted_error_stddev(double sigma, double slope, double intercept);
+
+/// --- multi-job generalization (§4 "the same analysis applies to any
+/// combination of jobs", §5 "the loss becomes a function of the overlap
+/// across all jobs") -------------------------------------------------------
+
+/// Total loss of N identical jobs at the given offsets on the period
+/// circle: the sum of Eq. 4's pairwise losses over all unordered pairs.
+/// Minimal exactly when no two communication phases overlap.
+double multi_job_loss(const std::vector<double>& offsets,
+                      const ShiftParams& p);
+
+/// One distributed step: every job moves by the superposition of its
+/// pairwise shifts (the extended, antisymmetric Eq. 3). This is gradient
+/// descent on multi_job_loss; the sum of offsets is conserved.
+std::vector<double> multi_job_step(const std::vector<double>& offsets,
+                                   const ShiftParams& p);
+
+struct MultiDescentResult {
+  std::vector<std::vector<double>> trajectory;  ///< offsets per iteration
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Iterates multi_job_step until every pairwise shift is below `tolerance`.
+MultiDescentResult multi_descend(std::vector<double> offsets,
+                                 const ShiftParams& p,
+                                 int max_iterations = 1000,
+                                 double tolerance = 1e-5);
+
+}  // namespace mltcp::analysis

@@ -1,0 +1,64 @@
+#include "core/aggressiveness.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mltcp::core {
+
+std::string LinearAggressiveness::name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "linear(%.3g,%.3g)", slope_, intercept_);
+  return buf;
+}
+
+std::unique_ptr<AggressivenessFunction> make_figure3_function(int index) {
+  switch (index) {
+    case 1:  // F1 = 1.75 r + 0.25
+      return std::make_unique<LinearAggressiveness>(1.75, 0.25);
+    case 2:  // F2 = 1.75 r^2 + 0.25
+      return std::make_unique<CustomAggressiveness>(
+          [](double r) { return 1.75 * r * r + 0.25; }, "F2=1.75r^2+0.25");
+    case 3:  // F3 = 1 / (-3.5 r + 4)
+      return std::make_unique<CustomAggressiveness>(
+          [](double r) { return 1.0 / (-3.5 * r + 4.0); }, "F3=1/(-3.5r+4)");
+    case 4:  // F4 = -1.75 r^2 + 3.5 r + 0.25
+      return std::make_unique<CustomAggressiveness>(
+          [](double r) { return -1.75 * r * r + 3.5 * r + 0.25; },
+          "F4=-1.75r^2+3.5r+0.25");
+    case 5:  // F5 = -1.75 r + 2 (decreasing)
+      return std::make_unique<CustomAggressiveness>(
+          [](double r) { return -1.75 * r + 2.0; }, "F5=-1.75r+2");
+    case 6:  // F6 = -1.75 r^4 + 2 (decreasing)
+      return std::make_unique<CustomAggressiveness>(
+          [](double r) { return -1.75 * r * r * r * r + 2.0; },
+          "F6=-1.75r^4+2");
+    default:
+      throw std::invalid_argument("figure-3 function index must be 1..6");
+  }
+}
+
+AggressivenessCheck check_aggressiveness(const AggressivenessFunction& f,
+                                         int samples) {
+  assert(samples >= 2);
+  AggressivenessCheck out;
+  out.derivative_non_negative = true;
+  double prev = f(0.0);
+  out.min_value = prev;
+  out.max_value = prev;
+  for (int i = 1; i < samples; ++i) {
+    const double r = static_cast<double>(i) / (samples - 1);
+    const double v = f(r);
+    // Tolerate floating-point jitter when probing monotonicity.
+    if (v < prev - 1e-12) out.derivative_non_negative = false;
+    out.min_value = std::min(out.min_value, v);
+    out.max_value = std::max(out.max_value, v);
+    prev = v;
+  }
+  out.range_width = out.max_value - out.min_value;
+  return out;
+}
+
+}  // namespace mltcp::core

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mltcp::core {
+
+/// The paper's default linear parameters (§3.1): F = 1.75·r + 0.25.
+inline constexpr double kDefaultSlope = 1.75;
+inline constexpr double kDefaultIntercept = 0.25;
+
+/// Bandwidth aggressiveness function F(bytes_ratio) (§3.1): maps the fraction
+/// of iteration bytes already sent to a multiplier on the congestion-window
+/// increase. bytes_ratio is always in [0, 1].
+class AggressivenessFunction {
+ public:
+  virtual ~AggressivenessFunction() = default;
+  virtual double operator()(double bytes_ratio) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// F(r) = slope · r + intercept — the function MLTCP ships with (Eq. 2),
+/// chosen for trivial kernel implementation.
+class LinearAggressiveness : public AggressivenessFunction {
+ public:
+  explicit LinearAggressiveness(double slope = kDefaultSlope,
+                                double intercept = kDefaultIntercept)
+      : slope_(slope), intercept_(intercept) {}
+
+  double operator()(double r) const override {
+    return slope_ * r + intercept_;
+  }
+  std::string name() const override;
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+
+ private:
+  double slope_;
+  double intercept_;
+};
+
+/// Arbitrary-callable adapter, for the nonlinear functions of Figure 3 and
+/// for user experimentation.
+class CustomAggressiveness : public AggressivenessFunction {
+ public:
+  CustomAggressiveness(std::function<double(double)> fn, std::string name)
+      : fn_(std::move(fn)), name_(std::move(name)) {}
+
+  double operator()(double r) const override { return fn_(r); }
+  std::string name() const override { return name_; }
+
+ private:
+  std::function<double(double)> fn_;
+  std::string name_;
+};
+
+/// The six functions compared in Figure 3. Index is 1-based (F1..F6).
+/// F1..F4 are non-decreasing (they interleave); F5, F6 are decreasing
+/// (they do not).
+std::unique_ptr<AggressivenessFunction> make_figure3_function(int index);
+
+/// Result of checking §3.1's three requirements on a candidate function.
+struct AggressivenessCheck {
+  bool derivative_non_negative = false;  ///< Requirement (ii).
+  double min_value = 0.0;                ///< Over [0, 1].
+  double max_value = 0.0;                ///< Over [0, 1].
+  double range_width = 0.0;              ///< max - min; requirement (i) needs
+                                         ///< this to exceed the noise scale.
+  bool valid(double min_range_width = 0.5) const {
+    return derivative_non_negative && min_value > 0.0 &&
+           range_width >= min_range_width;
+  }
+};
+
+/// Samples `f` on [0, 1] and reports the requirement check. `samples` >= 2.
+AggressivenessCheck check_aggressiveness(const AggressivenessFunction& f,
+                                         int samples = 1001);
+
+}  // namespace mltcp::core

@@ -1,0 +1,83 @@
+#include "core/iteration_tracker.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mltcp::core {
+
+IterationTracker::IterationTracker(TrackerConfig cfg) : cfg_(cfg) {
+  assert(cfg_.mtu > 0);
+  total_bytes_ = cfg_.total_bytes;
+  comp_time_ = cfg_.comp_time;
+  learning_ = (total_bytes_ <= 0 || comp_time_ <= 0);
+}
+
+void IterationTracker::on_ack(int num_acks, sim::SimTime now) {
+  if (num_acks <= 0) return;
+
+  // Algorithm 1 line 7: bytes accounting in MTU units.
+  const std::int64_t acked_bytes =
+      static_cast<std::int64_t>(num_acks) * cfg_.mtu;
+  bytes_sent_ += acked_bytes;
+  burst_bytes_ += acked_bytes;
+
+  const sim::SimTime gap = now - prev_ack_tstamp_;
+  const sim::SimTime threshold =
+      comp_time_ > 0 ? comp_time_ : cfg_.learn_min_gap;
+
+  // The very first ACK of a flow has no predecessor; it cannot witness an
+  // iteration boundary.
+  if (prev_ack_tstamp_ > 0 && gap > threshold) {
+    // Algorithm 1 lines 10-13: start of a new training iteration.
+    ++iterations_seen_;
+    // The triggering ACK's bytes belong to the *new* iteration; exclude them
+    // from the completed burst.
+    if (learning_) learn_from_boundary(gap, burst_bytes_ - acked_bytes);
+    bytes_ratio_ = 0.0;
+    bytes_sent_ = 0;
+    burst_bytes_ = acked_bytes;  // this ACK belongs to the new iteration
+  } else if (total_bytes_ > 0) {
+    // Algorithm 1 line 16.
+    bytes_ratio_ = std::min(
+        1.0, static_cast<double>(bytes_sent_) /
+                 static_cast<double>(total_bytes_));
+  } else {
+    bytes_ratio_ = 0.0;  // not calibrated yet: be conservative
+  }
+
+  prev_ack_tstamp_ = now;  // Algorithm 1 line 17.
+}
+
+void IterationTracker::learn_from_boundary(sim::SimTime gap,
+                                           std::int64_t burst_bytes) {
+  observed_gaps_.push_back(gap);
+  observed_bursts_.push_back(burst_bytes);
+
+  // The first observed burst may be a partial iteration (the flow could have
+  // been created mid-iteration), so we require learn_iterations + 1 bursts
+  // and drop the first.
+  if (static_cast<int>(observed_gaps_.size()) < cfg_.learn_iterations + 1) {
+    return;
+  }
+
+  if (cfg_.total_bytes <= 0) {
+    std::int64_t best = 0;
+    for (std::size_t i = 1; i < observed_bursts_.size(); ++i) {
+      best = std::max(best, observed_bursts_[i]);
+    }
+    total_bytes_ = best;
+  }
+  if (cfg_.comp_time <= 0) {
+    sim::SimTime smallest = observed_gaps_[1];
+    for (std::size_t i = 2; i < observed_gaps_.size(); ++i) {
+      smallest = std::min(smallest, observed_gaps_[i]);
+    }
+    comp_time_ = std::max<sim::SimTime>(
+        static_cast<sim::SimTime>(static_cast<double>(smallest) *
+                                  cfg_.comp_time_safety),
+        cfg_.learn_min_gap);
+  }
+  learning_ = !(total_bytes_ > 0 && comp_time_ > 0);
+}
+
+}  // namespace mltcp::core

@@ -1,0 +1,93 @@
+#include "core/mltcp.hpp"
+
+namespace mltcp::core {
+
+MltcpGain::MltcpGain(std::shared_ptr<const AggressivenessFunction> f,
+                     TrackerConfig tracker_cfg)
+    : f_(std::move(f)), tracker_(tracker_cfg) {}
+
+std::shared_ptr<const AggressivenessFunction> make_linear_function(
+    const MltcpConfig& cfg) {
+  return std::make_shared<LinearAggressiveness>(cfg.slope, cfg.intercept);
+}
+
+namespace {
+std::shared_ptr<const AggressivenessFunction> f_or_linear(
+    const MltcpConfig& cfg, std::shared_ptr<const AggressivenessFunction> f) {
+  return f != nullptr ? std::move(f) : make_linear_function(cfg);
+}
+}  // namespace
+
+std::unique_ptr<tcp::CongestionControl> make_mltcp_reno(
+    const MltcpConfig& cfg, std::shared_ptr<const AggressivenessFunction> f,
+    tcp::RenoConfig reno) {
+  auto gain =
+      std::make_shared<MltcpGain>(f_or_linear(cfg, std::move(f)), cfg.tracker);
+  return std::make_unique<tcp::RenoCC>(reno, std::move(gain));
+}
+
+std::unique_ptr<tcp::CongestionControl> make_mltcp_cubic(
+    const MltcpConfig& cfg, std::shared_ptr<const AggressivenessFunction> f,
+    tcp::CubicConfig cubic) {
+  auto gain =
+      std::make_shared<MltcpGain>(f_or_linear(cfg, std::move(f)), cfg.tracker);
+  return std::make_unique<tcp::CubicCC>(cubic, std::move(gain));
+}
+
+std::unique_ptr<tcp::CongestionControl> make_mltcp_dctcp(
+    const MltcpConfig& cfg, std::shared_ptr<const AggressivenessFunction> f,
+    tcp::DctcpConfig dctcp) {
+  auto gain =
+      std::make_shared<MltcpGain>(f_or_linear(cfg, std::move(f)), cfg.tracker);
+  return std::make_unique<tcp::DctcpCC>(dctcp, std::move(gain));
+}
+
+std::unique_ptr<tcp::CongestionControl> make_mltcp_swift(
+    const MltcpConfig& cfg, std::shared_ptr<const AggressivenessFunction> f,
+    tcp::SwiftConfig swift) {
+  auto gain =
+      std::make_shared<MltcpGain>(f_or_linear(cfg, std::move(f)), cfg.tracker);
+  return std::make_unique<tcp::SwiftCC>(swift, std::move(gain));
+}
+
+tcp::CcFactory mltcp_reno_factory(
+    MltcpConfig cfg, std::shared_ptr<const AggressivenessFunction> f) {
+  auto shared_f = f_or_linear(cfg, std::move(f));
+  return [cfg, shared_f] { return make_mltcp_reno(cfg, shared_f); };
+}
+
+tcp::CcFactory mltcp_cubic_factory(
+    MltcpConfig cfg, std::shared_ptr<const AggressivenessFunction> f) {
+  auto shared_f = f_or_linear(cfg, std::move(f));
+  return [cfg, shared_f] { return make_mltcp_cubic(cfg, shared_f); };
+}
+
+tcp::CcFactory mltcp_dctcp_factory(
+    MltcpConfig cfg, std::shared_ptr<const AggressivenessFunction> f) {
+  auto shared_f = f_or_linear(cfg, std::move(f));
+  return [cfg, shared_f] { return make_mltcp_dctcp(cfg, shared_f); };
+}
+
+tcp::CcFactory mltcp_swift_factory(
+    MltcpConfig cfg, std::shared_ptr<const AggressivenessFunction> f) {
+  auto shared_f = f_or_linear(cfg, std::move(f));
+  return [cfg, shared_f] { return make_mltcp_swift(cfg, shared_f); };
+}
+
+tcp::CcFactory reno_factory(tcp::RenoConfig cfg) {
+  return [cfg] { return std::make_unique<tcp::RenoCC>(cfg); };
+}
+
+tcp::CcFactory cubic_factory(tcp::CubicConfig cfg) {
+  return [cfg] { return std::make_unique<tcp::CubicCC>(cfg); };
+}
+
+tcp::CcFactory dctcp_factory(tcp::DctcpConfig cfg) {
+  return [cfg] { return std::make_unique<tcp::DctcpCC>(cfg); };
+}
+
+tcp::CcFactory swift_factory(tcp::SwiftConfig cfg) {
+  return [cfg] { return std::make_unique<tcp::SwiftCC>(cfg); };
+}
+
+}  // namespace mltcp::core

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/aggressiveness.hpp"
+#include "core/iteration_tracker.hpp"
+#include "tcp/cong_control.hpp"
+#include "tcp/cubic.hpp"
+#include "tcp/dctcp.hpp"
+#include "tcp/reno.hpp"
+#include "tcp/swift.hpp"
+
+namespace mltcp::core {
+
+/// MLTCP parameters shared by all augmented congestion controllers.
+struct MltcpConfig {
+  double slope = kDefaultSlope;
+  double intercept = kDefaultIntercept;
+  TrackerConfig tracker;
+};
+
+/// The MLTCP window gain: observes every acknowledgement through the
+/// IterationTracker (Algorithm 1) and scales the congestion-avoidance window
+/// increase by F(bytes_ratio) (Eq. 1). Plugging this gain into any of the
+/// base controllers yields the corresponding MLTCP variant.
+class MltcpGain : public tcp::WindowGain {
+ public:
+  MltcpGain(std::shared_ptr<const AggressivenessFunction> f,
+            TrackerConfig tracker_cfg);
+
+  void on_ack(const tcp::AckContext& ctx) override {
+    tracker_.on_ack(ctx.num_acked, ctx.now);
+  }
+
+  double gain() const override { return (*f_)(tracker_.bytes_ratio()); }
+
+  std::string name() const override { return f_->name(); }
+
+  const IterationTracker& tracker() const { return tracker_; }
+  const AggressivenessFunction& function() const { return *f_; }
+
+ private:
+  std::shared_ptr<const AggressivenessFunction> f_;
+  IterationTracker tracker_;
+};
+
+/// Builds the linear F of Eq. 2 from an MltcpConfig.
+std::shared_ptr<const AggressivenessFunction> make_linear_function(
+    const MltcpConfig& cfg);
+
+/// --- Single-controller constructors -------------------------------------
+/// Each returns a freshly wired controller; `f` defaults to the linear
+/// function of `cfg` when null.
+
+std::unique_ptr<tcp::CongestionControl> make_mltcp_reno(
+    const MltcpConfig& cfg = {},
+    std::shared_ptr<const AggressivenessFunction> f = nullptr,
+    tcp::RenoConfig reno = {});
+
+std::unique_ptr<tcp::CongestionControl> make_mltcp_cubic(
+    const MltcpConfig& cfg = {},
+    std::shared_ptr<const AggressivenessFunction> f = nullptr,
+    tcp::CubicConfig cubic = {});
+
+std::unique_ptr<tcp::CongestionControl> make_mltcp_dctcp(
+    const MltcpConfig& cfg = {},
+    std::shared_ptr<const AggressivenessFunction> f = nullptr,
+    tcp::DctcpConfig dctcp = {});
+
+std::unique_ptr<tcp::CongestionControl> make_mltcp_swift(
+    const MltcpConfig& cfg = {},
+    std::shared_ptr<const AggressivenessFunction> f = nullptr,
+    tcp::SwiftConfig swift = {});
+
+/// --- Factories for experiment harnesses ---------------------------------
+/// Stamp out one controller per flow. All flows of a job share the same
+/// aggressiveness function object (requirement (iii) of §3.1) but get their
+/// own tracker state.
+
+tcp::CcFactory mltcp_reno_factory(
+    MltcpConfig cfg = {},
+    std::shared_ptr<const AggressivenessFunction> f = nullptr);
+tcp::CcFactory mltcp_cubic_factory(
+    MltcpConfig cfg = {},
+    std::shared_ptr<const AggressivenessFunction> f = nullptr);
+tcp::CcFactory mltcp_dctcp_factory(
+    MltcpConfig cfg = {},
+    std::shared_ptr<const AggressivenessFunction> f = nullptr);
+tcp::CcFactory mltcp_swift_factory(
+    MltcpConfig cfg = {},
+    std::shared_ptr<const AggressivenessFunction> f = nullptr);
+
+/// Plain (unaugmented) baselines, for comparison runs.
+tcp::CcFactory reno_factory(tcp::RenoConfig cfg = {});
+tcp::CcFactory cubic_factory(tcp::CubicConfig cfg = {});
+tcp::CcFactory dctcp_factory(tcp::DctcpConfig cfg = {});
+tcp::CcFactory swift_factory(tcp::SwiftConfig cfg = {});
+
+}  // namespace mltcp::core

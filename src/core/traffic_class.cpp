@@ -1,0 +1,48 @@
+#include "core/traffic_class.hpp"
+
+#include <stdexcept>
+
+namespace mltcp::core {
+
+void TrafficClassRegistry::register_class(const std::string& traffic_class,
+                                          tcp::CcFactory factory) {
+  if (factory == nullptr) {
+    throw std::invalid_argument("traffic class factory must not be null");
+  }
+  factories_[traffic_class] = std::move(factory);
+}
+
+const tcp::CcFactory& TrafficClassRegistry::factory(
+    const std::string& traffic_class) const {
+  auto it = factories_.find(traffic_class);
+  if (it == factories_.end()) {
+    throw std::out_of_range("unknown traffic class: " + traffic_class);
+  }
+  return it->second;
+}
+
+std::vector<std::string> TrafficClassRegistry::classes() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+TrafficClassRegistry TrafficClassRegistry::with_defaults(
+    const MltcpConfig& training, double latency_gain) {
+  TrafficClassRegistry registry;
+  registry.register_class("training", mltcp_reno_factory(training));
+  registry.register_class("bulk", reno_factory());
+
+  MltcpConfig latency_cfg;
+  latency_cfg.tracker.total_bytes = 1;  // ratio saturates immediately
+  latency_cfg.tracker.comp_time = sim::seconds(3600);
+  auto eager = std::make_shared<CustomAggressiveness>(
+      [latency_gain](double) { return latency_gain; },
+      "eager(" + std::to_string(latency_gain) + ")");
+  registry.register_class("latency",
+                          mltcp_reno_factory(latency_cfg, std::move(eager)));
+  return registry;
+}
+
+}  // namespace mltcp::core

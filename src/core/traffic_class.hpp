@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mltcp.hpp"
+#include "tcp/cong_control.hpp"
+
+namespace mltcp::core {
+
+/// Per-traffic-class congestion-control selection (§5): the paper modifies
+/// NCCL's FAST-socket plugin so that each traffic class can choose its own
+/// congestion control algorithm and aggressiveness function. This registry
+/// is that plugin's control plane: experiment harnesses register a factory
+/// per class ("training", "bulk", "latency", ...) and stamp controllers out
+/// of it at flow-creation time.
+class TrafficClassRegistry {
+ public:
+  TrafficClassRegistry() = default;
+
+  /// Registers (or replaces) the controller factory of one class.
+  void register_class(const std::string& traffic_class,
+                      tcp::CcFactory factory);
+
+  bool has(const std::string& traffic_class) const {
+    return factories_.count(traffic_class) > 0;
+  }
+
+  /// Factory of `traffic_class`. Throws std::out_of_range if unknown.
+  const tcp::CcFactory& factory(const std::string& traffic_class) const;
+
+  /// Creates a fresh controller for one flow of `traffic_class`.
+  std::unique_ptr<tcp::CongestionControl> make(
+      const std::string& traffic_class) const {
+    return factory(traffic_class)();
+  }
+
+  std::vector<std::string> classes() const;
+
+  /// The defaults the §5 discussion suggests:
+  ///  - "training": MLTCP-Reno with `training` tracker parameters;
+  ///  - "bulk": plain Reno (legacy traffic keeps legacy behaviour);
+  ///  - "latency": MLTCP-Reno with a constant high-value aggressiveness
+  ///    function ("for latency-sensitive traffic ... we recommend using a
+  ///    bandwidth aggressiveness function with larger values").
+  static TrafficClassRegistry with_defaults(const MltcpConfig& training,
+                                            double latency_gain = 3.0);
+
+ private:
+  std::map<std::string, tcp::CcFactory> factories_;
+};
+
+}  // namespace mltcp::core

@@ -1,0 +1,66 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "net/node.hpp"
+
+namespace mltcp::net {
+
+Link::Link(sim::Simulator& simulator, std::string name, double rate_bps,
+           sim::SimTime propagation_delay,
+           std::unique_ptr<QueueDiscipline> queue, Node* destination)
+    : sim_(simulator),
+      name_(std::move(name)),
+      rate_bps_(rate_bps),
+      prop_delay_(propagation_delay),
+      queue_(std::move(queue)),
+      dst_(destination) {
+  assert(rate_bps_ > 0.0);
+  assert(queue_ != nullptr);
+  assert(dst_ != nullptr);
+}
+
+void Link::send(Packet pkt) {
+  if (!busy_) {
+    // Transmitter idle: the packet bypasses the queue discipline's ordering
+    // but we still run it through enqueue/dequeue so marking policies see it.
+    if (queue_->enqueue(pkt, sim_.now())) {
+      auto next = queue_->dequeue(sim_.now());
+      assert(next.has_value());
+      start_transmission(*next);
+    }
+    return;
+  }
+  queue_->enqueue(pkt, sim_.now());
+}
+
+void Link::start_transmission(Packet pkt) {
+  busy_ = true;
+  const sim::SimTime tx = sim::transmission_time(pkt.size_bytes, rate_bps_);
+  for (const auto& obs : observers_) obs(pkt, sim_.now());
+  busy_time_ += tx;
+  sim_.schedule(tx, [this, pkt] { on_transmission_done(pkt); });
+}
+
+void Link::on_transmission_done(Packet pkt) {
+  bytes_tx_ += pkt.size_bytes;
+  ++packets_tx_;
+  // Hand off to propagation; delivery happens prop_delay_ later.
+  Node* dst = dst_;
+  sim_.schedule(prop_delay_, [dst, pkt] { dst->receive(pkt); });
+
+  auto next = queue_->dequeue(sim_.now());
+  if (next.has_value()) {
+    start_transmission(*next);
+  } else {
+    busy_ = false;
+  }
+}
+
+double Link::utilization(sim::SimTime now) const {
+  if (now <= 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(now);
+}
+
+}  // namespace mltcp::net

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace mltcp::net {
+
+class Node;
+
+/// Unidirectional point-to-point link: a serializing transmitter feeding a
+/// propagation delay, with a queue discipline buffering while the
+/// transmitter is busy.
+class Link {
+ public:
+  /// Called for every packet as it begins transmission; used for bandwidth
+  /// traces. The packet and the transmission start time are passed.
+  using TxObserver = std::function<void(const Packet&, sim::SimTime)>;
+
+  Link(sim::Simulator& simulator, std::string name, double rate_bps,
+       sim::SimTime propagation_delay, std::unique_ptr<QueueDiscipline> queue,
+       Node* destination);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Offers a packet for transmission. Queues (or drops, per the queue
+  /// discipline) if the transmitter is busy.
+  void send(Packet pkt);
+
+  double rate_bps() const { return rate_bps_; }
+  sim::SimTime propagation_delay() const { return prop_delay_; }
+  const std::string& name() const { return name_; }
+  Node* destination() const { return dst_; }
+
+  QueueDiscipline& queue() { return *queue_; }
+  const QueueDiscipline& queue() const { return *queue_; }
+
+  /// Registers an additional transmission observer.
+  void add_tx_observer(TxObserver obs) { observers_.push_back(std::move(obs)); }
+
+  std::int64_t bytes_transmitted() const { return bytes_tx_; }
+  std::int64_t packets_transmitted() const { return packets_tx_; }
+
+  /// Fraction of busy time over [0, now]; useful for utilization reports.
+  double utilization(sim::SimTime now) const;
+
+ private:
+  void start_transmission(Packet pkt);
+  void on_transmission_done(Packet pkt);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  double rate_bps_;
+  sim::SimTime prop_delay_;
+  std::unique_ptr<QueueDiscipline> queue_;
+  Node* dst_;
+
+  bool busy_ = false;
+  std::int64_t bytes_tx_ = 0;
+  std::int64_t packets_tx_ = 0;
+  sim::SimTime busy_time_ = 0;
+  std::vector<TxObserver> observers_;
+};
+
+}  // namespace mltcp::net

@@ -1,0 +1,44 @@
+#include "net/node.hpp"
+
+#include <cassert>
+
+namespace mltcp::net {
+
+void Switch::receive(Packet pkt) {
+  Link* egress = route(pkt.dst);
+  if (egress == nullptr) {
+    ++routeless_drops_;
+    return;
+  }
+  ++forwarded_;
+  egress->send(pkt);
+}
+
+Link* Switch::route(NodeId dst) const {
+  auto it = routes_.find(dst);
+  return it == routes_.end() ? nullptr : it->second;
+}
+
+void Host::receive(Packet pkt) {
+  auto it = handlers_.find(pkt.flow);
+  if (it == handlers_.end()) {
+    ++unclaimed_;
+    return;
+  }
+  ++delivered_;
+  it->second(pkt);
+}
+
+void Host::send(Packet pkt) {
+  assert(uplink_ != nullptr && "host has no uplink");
+  pkt.src = id();
+  uplink_->send(pkt);
+}
+
+void Host::register_flow(FlowId flow, PacketHandler handler) {
+  handlers_[flow] = std::move(handler);
+}
+
+void Host::unregister_flow(FlowId flow) { handlers_.erase(flow); }
+
+}  // namespace mltcp::net

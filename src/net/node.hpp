@@ -1,0 +1,85 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+namespace mltcp::net {
+
+/// A device in the topology that can receive packets.
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  virtual void receive(Packet pkt) = 0;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+/// Output-queued switch with a static forwarding table (destination node ->
+/// egress link) computed by the topology's route builder.
+class Switch : public Node {
+ public:
+  using Node::Node;
+
+  void receive(Packet pkt) override;
+
+  void set_route(NodeId dst, Link* egress) { routes_[dst] = egress; }
+  Link* route(NodeId dst) const;
+
+  std::int64_t forwarded_packets() const { return forwarded_; }
+  std::int64_t routeless_drops() const { return routeless_drops_; }
+
+ private:
+  std::unordered_map<NodeId, Link*> routes_;
+  std::int64_t forwarded_ = 0;
+  std::int64_t routeless_drops_ = 0;
+};
+
+/// End host: demultiplexes received packets to per-flow handlers and sends
+/// all outbound traffic over its single uplink.
+class Host : public Node {
+ public:
+  using PacketHandler = std::function<void(const Packet&)>;
+
+  using Node::Node;
+
+  void receive(Packet pkt) override;
+
+  /// Sends a packet out the uplink. The packet's `src` is stamped with this
+  /// host's id.
+  void send(Packet pkt);
+
+  void set_uplink(Link* uplink) { uplink_ = uplink; }
+  Link* uplink() const { return uplink_; }
+
+  /// Registers the receive handler for one flow. At most one handler per
+  /// (flow, packet-type-class); data and ACKs of a flow arrive at different
+  /// hosts so a single map suffices.
+  void register_flow(FlowId flow, PacketHandler handler);
+  void unregister_flow(FlowId flow);
+
+  std::int64_t delivered_packets() const { return delivered_; }
+  std::int64_t unclaimed_packets() const { return unclaimed_; }
+
+ private:
+  Link* uplink_ = nullptr;
+  std::unordered_map<FlowId, PacketHandler> handlers_;
+  std::int64_t delivered_ = 0;
+  std::int64_t unclaimed_ = 0;
+};
+
+}  // namespace mltcp::net

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mltcp::net {
+
+using NodeId = std::int32_t;
+using FlowId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr FlowId kInvalidFlow = -1;
+
+/// Default maximum transmission unit, matching Algorithm 1 in the paper.
+inline constexpr std::int32_t kDefaultMtu = 1500;
+
+/// Per-packet protocol overhead we model (IP + TCP headers).
+inline constexpr std::int32_t kHeaderBytes = 40;
+
+/// Wire size of a pure ACK.
+inline constexpr std::int32_t kAckBytes = kHeaderBytes;
+
+enum class PacketType : std::uint8_t { kData, kAck };
+
+/// One SACK block: segments [start, end) received out of order.
+struct SackBlock {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  bool empty() const { return end <= start; }
+};
+
+/// Maximum SACK blocks carried per ACK (as with TCP options space).
+inline constexpr int kMaxSackBlocks = 3;
+
+/// A network packet. Plain value type (no invariant beyond field semantics),
+/// copied by value through queues and links.
+struct Packet {
+  FlowId flow = kInvalidFlow;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  PacketType type = PacketType::kData;
+
+  /// Data: segment sequence number (in MSS-sized segments).
+  /// ACK: cumulative acknowledgement (next expected segment).
+  std::int64_t seq = 0;
+
+  /// Wire size including headers.
+  std::int32_t size_bytes = kDefaultMtu;
+
+  /// --- ECN (used by DCTCP) ---
+  bool ecn_capable = false;  ///< Sender negotiated ECN.
+  bool ce = false;           ///< Congestion Experienced, set by queues.
+  bool ece = false;          ///< ECN Echo, set by receiver on ACKs.
+
+  /// pFabric priority: remaining bytes of the flow when the packet was sent.
+  /// Smaller value = higher priority. 0 means "not using priorities".
+  std::int64_t priority = 0;
+
+  /// Timestamp option: set by the sender on data packets and echoed back on
+  /// ACKs, used for RTT sampling.
+  sim::SimTime tx_timestamp = 0;
+
+  /// SACK option (ACKs only): out-of-order ranges held by the receiver.
+  SackBlock sack[kMaxSackBlocks]{};
+
+  /// Data payload bytes (size_bytes - headers); 0 for ACKs.
+  std::int32_t payload_bytes() const {
+    return type == PacketType::kData ? size_bytes - kHeaderBytes : 0;
+  }
+};
+
+}  // namespace mltcp::net

@@ -1,0 +1,320 @@
+#include "net/queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mltcp::net {
+
+namespace {
+void note_backlog(QueueStats& stats, std::int64_t backlog) {
+  stats.max_backlog_bytes = std::max(stats.max_backlog_bytes, backlog);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- DropTail
+
+DropTailQueue::DropTailQueue(std::int64_t capacity_bytes)
+    : capacity_(capacity_bytes) {
+  assert(capacity_bytes > 0);
+}
+
+bool DropTailQueue::enqueue(Packet pkt, sim::SimTime /*now*/) {
+  if (backlog_ + pkt.size_bytes > capacity_) {
+    ++stats_.dropped_packets;
+    return false;
+  }
+  backlog_ += pkt.size_bytes;
+  q_.push_back(pkt);
+  ++stats_.enqueued_packets;
+  note_backlog(stats_, backlog_);
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::dequeue(sim::SimTime /*now*/) {
+  if (q_.empty()) return std::nullopt;
+  Packet pkt = q_.front();
+  q_.pop_front();
+  backlog_ -= pkt.size_bytes;
+  return pkt;
+}
+
+// ------------------------------------------------------------ EcnThreshold
+
+EcnThresholdQueue::EcnThresholdQueue(std::int64_t capacity_bytes,
+                                     std::int64_t mark_threshold_bytes)
+    : capacity_(capacity_bytes), mark_threshold_(mark_threshold_bytes) {
+  assert(capacity_bytes > 0);
+  assert(mark_threshold_bytes > 0 && mark_threshold_bytes <= capacity_bytes);
+}
+
+bool EcnThresholdQueue::enqueue(Packet pkt, sim::SimTime /*now*/) {
+  if (backlog_ + pkt.size_bytes > capacity_) {
+    ++stats_.dropped_packets;
+    return false;
+  }
+  // DCTCP marks based on the instantaneous queue occupancy seen on arrival.
+  if (pkt.ecn_capable && backlog_ >= mark_threshold_) {
+    pkt.ce = true;
+    ++stats_.marked_packets;
+  }
+  backlog_ += pkt.size_bytes;
+  q_.push_back(pkt);
+  ++stats_.enqueued_packets;
+  note_backlog(stats_, backlog_);
+  return true;
+}
+
+std::optional<Packet> EcnThresholdQueue::dequeue(sim::SimTime /*now*/) {
+  if (q_.empty()) return std::nullopt;
+  Packet pkt = q_.front();
+  q_.pop_front();
+  backlog_ -= pkt.size_bytes;
+  return pkt;
+}
+
+// --------------------------------------------------------- PfabricPriority
+
+PfabricPriorityQueue::PfabricPriorityQueue(std::int64_t capacity_bytes)
+    : capacity_(capacity_bytes) {
+  assert(capacity_bytes > 0);
+}
+
+bool PfabricPriorityQueue::enqueue(Packet pkt, sim::SimTime /*now*/) {
+  while (backlog_ + pkt.size_bytes > capacity_ && !q_.empty()) {
+    // Evict the lowest-priority resident (largest remaining bytes) — but only
+    // if the arrival beats it; otherwise drop the arrival.
+    auto worst = std::prev(q_.end());
+    if (worst->pkt.priority <= pkt.priority) {
+      ++stats_.dropped_packets;
+      return false;
+    }
+    backlog_ -= worst->pkt.size_bytes;
+    q_.erase(worst);
+    ++stats_.dropped_packets;
+  }
+  if (backlog_ + pkt.size_bytes > capacity_) {
+    ++stats_.dropped_packets;
+    return false;
+  }
+  backlog_ += pkt.size_bytes;
+  q_.insert(Entry{pkt, arrivals_++});
+  ++stats_.enqueued_packets;
+  note_backlog(stats_, backlog_);
+  return true;
+}
+
+std::optional<Packet> PfabricPriorityQueue::dequeue(sim::SimTime /*now*/) {
+  if (q_.empty()) return std::nullopt;
+  auto best = q_.begin();
+  Packet pkt = best->pkt;
+  backlog_ -= pkt.size_bytes;
+  q_.erase(best);
+  return pkt;
+}
+
+// -------------------------------------------------------------------- DRR
+
+DrrQueue::DrrQueue(std::int64_t capacity_bytes, std::int64_t quantum_bytes)
+    : capacity_(capacity_bytes), quantum_(quantum_bytes) {
+  assert(capacity_bytes > 0 && quantum_bytes > 0);
+}
+
+bool DrrQueue::enqueue(Packet pkt, sim::SimTime /*now*/) {
+  if (backlog_ + pkt.size_bytes > capacity_) {
+    ++stats_.dropped_packets;
+    return false;
+  }
+  auto [it, inserted] = flows_.try_emplace(pkt.flow);
+  if (it->second.q.empty()) {
+    it->second.deficit = 0;
+    round_.push_back(pkt.flow);
+  }
+  it->second.q.push_back(pkt);
+  backlog_ += pkt.size_bytes;
+  ++stats_.enqueued_packets;
+  stats_.max_backlog_bytes = std::max(stats_.max_backlog_bytes, backlog_);
+  return true;
+}
+
+std::optional<Packet> DrrQueue::dequeue(sim::SimTime /*now*/) {
+  while (!round_.empty()) {
+    const FlowId id = round_.front();
+    auto it = flows_.find(id);
+    if (it == flows_.end() || it->second.q.empty()) {
+      round_.pop_front();
+      continue;
+    }
+    FlowState& flow = it->second;
+    if (flow.deficit < flow.q.front().size_bytes) {
+      // Not enough credit: move to the back of the round with a new quantum.
+      flow.deficit += quantum_;
+      round_.pop_front();
+      round_.push_back(id);
+      continue;
+    }
+    Packet pkt = flow.q.front();
+    flow.q.pop_front();
+    flow.deficit -= pkt.size_bytes;
+    backlog_ -= pkt.size_bytes;
+    if (flow.q.empty()) {
+      flows_.erase(it);
+      round_.pop_front();
+    }
+    return pkt;
+  }
+  return std::nullopt;
+}
+
+std::size_t DrrQueue::backlog_packets() const {
+  std::size_t n = 0;
+  for (const auto& [id, flow] : flows_) n += flow.q.size();
+  return n;
+}
+
+// -------------------------------------------------------------------- RED
+
+RedQueue::RedQueue(Config cfg) : cfg_(cfg), rng_state_(cfg.seed | 1) {
+  assert(cfg_.capacity_bytes > 0);
+  assert(cfg_.min_threshold_bytes < cfg_.max_threshold_bytes);
+  assert(cfg_.max_threshold_bytes <= cfg_.capacity_bytes);
+}
+
+double RedQueue::next_uniform() {
+  rng_state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+bool RedQueue::enqueue(Packet pkt, sim::SimTime /*now*/) {
+  avg_ = (1.0 - cfg_.ewma_weight) * avg_ +
+         cfg_.ewma_weight * static_cast<double>(backlog_);
+
+  bool early_action = false;
+  if (avg_ >= static_cast<double>(cfg_.max_threshold_bytes)) {
+    early_action = true;
+  } else if (avg_ >= static_cast<double>(cfg_.min_threshold_bytes)) {
+    const double fraction =
+        (avg_ - static_cast<double>(cfg_.min_threshold_bytes)) /
+        static_cast<double>(cfg_.max_threshold_bytes -
+                            cfg_.min_threshold_bytes);
+    early_action = next_uniform() < fraction * cfg_.max_probability;
+  }
+
+  if (early_action) {
+    if (cfg_.mark_instead_of_drop && pkt.ecn_capable) {
+      pkt.ce = true;
+      ++stats_.marked_packets;
+    } else {
+      ++stats_.dropped_packets;
+      return false;
+    }
+  }
+
+  if (backlog_ + pkt.size_bytes > cfg_.capacity_bytes) {
+    ++stats_.dropped_packets;
+    return false;
+  }
+  backlog_ += pkt.size_bytes;
+  q_.push_back(pkt);
+  ++stats_.enqueued_packets;
+  stats_.max_backlog_bytes = std::max(stats_.max_backlog_bytes, backlog_);
+  return true;
+}
+
+std::optional<Packet> RedQueue::dequeue(sim::SimTime /*now*/) {
+  if (q_.empty()) return std::nullopt;
+  Packet pkt = q_.front();
+  q_.pop_front();
+  backlog_ -= pkt.size_bytes;
+  return pkt;
+}
+
+// ------------------------------------------------------------- RandomDrop
+
+RandomDropQueue::RandomDropQueue(std::unique_ptr<QueueDiscipline> inner,
+                                 double drop_probability, std::uint64_t seed)
+    : inner_(std::move(inner)), p_(drop_probability), state_(seed | 1) {
+  assert(inner_ != nullptr);
+  assert(drop_probability >= 0.0 && drop_probability <= 1.0);
+}
+
+bool RandomDropQueue::enqueue(Packet pkt, sim::SimTime now) {
+  // splitmix64 step; cheap and adequate for Bernoulli drops.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  // Only data packets are subject to injected loss; dropping ACKs would test
+  // cumulative-ACK robustness, not congestion response.
+  if (pkt.type == PacketType::kData && u < p_) {
+    ++random_drops_;
+    ++stats_.dropped_packets;
+    return false;
+  }
+  // Mirror the inner queue's outcome so this decorator's stats cover both
+  // injected and congestion drops.
+  const bool admitted = inner_->enqueue(pkt, now);
+  if (admitted) {
+    ++stats_.enqueued_packets;
+  } else {
+    ++stats_.dropped_packets;
+  }
+  return admitted;
+}
+
+std::optional<Packet> RandomDropQueue::dequeue(sim::SimTime now) {
+  return inner_->dequeue(now);
+}
+
+void RandomDropQueue::set_drop_probability(double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  p_ = p;
+}
+
+// ----------------------------------------------------------------- factories
+
+QueueFactory make_droptail_factory(std::int64_t capacity_bytes) {
+  return [capacity_bytes] { return std::make_unique<DropTailQueue>(capacity_bytes); };
+}
+
+QueueFactory make_ecn_factory(std::int64_t capacity_bytes,
+                              std::int64_t mark_threshold_bytes) {
+  return [=] {
+    return std::make_unique<EcnThresholdQueue>(capacity_bytes,
+                                               mark_threshold_bytes);
+  };
+}
+
+QueueFactory make_pfabric_factory(std::int64_t capacity_bytes) {
+  return [capacity_bytes] {
+    return std::make_unique<PfabricPriorityQueue>(capacity_bytes);
+  };
+}
+
+QueueFactory make_drr_factory(std::int64_t capacity_bytes,
+                              std::int64_t quantum_bytes) {
+  return [=] {
+    return std::make_unique<DrrQueue>(capacity_bytes, quantum_bytes);
+  };
+}
+
+QueueFactory make_red_factory(RedQueue::Config cfg) {
+  return [cfg] { return std::make_unique<RedQueue>(cfg); };
+}
+
+QueueFactory make_random_drop_factory(double drop_probability,
+                                      std::int64_t capacity_bytes,
+                                      std::uint64_t seed) {
+  return [=] {
+    return std::make_unique<RandomDropQueue>(
+        std::make_unique<DropTailQueue>(capacity_bytes), drop_probability,
+        seed);
+  };
+}
+
+}  // namespace mltcp::net

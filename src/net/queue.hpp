@@ -1,0 +1,234 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace mltcp::net {
+
+/// Statistics every queue discipline keeps.
+struct QueueStats {
+  std::int64_t enqueued_packets = 0;
+  std::int64_t dropped_packets = 0;
+  std::int64_t marked_packets = 0;  ///< ECN CE marks applied.
+  std::int64_t max_backlog_bytes = 0;
+};
+
+/// Buffering policy of one link. Implementations decide admission (drop),
+/// ordering (dequeue) and marking (ECN).
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  /// Offers a packet to the queue. Returns false if the packet was dropped.
+  /// Implementations may instead drop a lower-priority queued packet to admit
+  /// this one (pFabric).
+  virtual bool enqueue(Packet pkt, sim::SimTime now) = 0;
+
+  /// Removes and returns the next packet to transmit, or nullopt when empty.
+  virtual std::optional<Packet> dequeue(sim::SimTime now) = 0;
+
+  virtual bool empty() const = 0;
+  virtual std::int64_t backlog_bytes() const = 0;
+  virtual std::size_t backlog_packets() const = 0;
+
+  const QueueStats& stats() const { return stats_; }
+
+ protected:
+  QueueStats stats_;
+};
+
+/// Factory used by topology builders so each link gets its own queue.
+using QueueFactory = std::function<std::unique_ptr<QueueDiscipline>()>;
+
+/// FIFO with a byte-capacity bound; arrivals beyond capacity are dropped.
+class DropTailQueue : public QueueDiscipline {
+ public:
+  explicit DropTailQueue(std::int64_t capacity_bytes);
+
+  bool enqueue(Packet pkt, sim::SimTime now) override;
+  std::optional<Packet> dequeue(sim::SimTime now) override;
+  bool empty() const override { return q_.empty(); }
+  std::int64_t backlog_bytes() const override { return backlog_; }
+  std::size_t backlog_packets() const override { return q_.size(); }
+
+  std::int64_t capacity_bytes() const { return capacity_; }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t backlog_ = 0;
+  std::deque<Packet> q_;
+};
+
+/// DCTCP-style queue: drop-tail admission plus ECN CE marking of ECN-capable
+/// packets when the instantaneous backlog is at or above `mark_threshold`
+/// at enqueue time.
+class EcnThresholdQueue : public QueueDiscipline {
+ public:
+  EcnThresholdQueue(std::int64_t capacity_bytes,
+                    std::int64_t mark_threshold_bytes);
+
+  bool enqueue(Packet pkt, sim::SimTime now) override;
+  std::optional<Packet> dequeue(sim::SimTime now) override;
+  bool empty() const override { return q_.empty(); }
+  std::int64_t backlog_bytes() const override { return backlog_; }
+  std::size_t backlog_packets() const override { return q_.size(); }
+
+  std::int64_t mark_threshold_bytes() const { return mark_threshold_; }
+
+ private:
+  std::int64_t capacity_;
+  std::int64_t mark_threshold_;
+  std::int64_t backlog_ = 0;
+  std::deque<Packet> q_;
+};
+
+/// pFabric priority queue: dequeues the packet with the smallest priority
+/// value (fewest remaining bytes). When full, admits a higher-priority
+/// arrival by evicting the lowest-priority resident packet.
+class PfabricPriorityQueue : public QueueDiscipline {
+ public:
+  explicit PfabricPriorityQueue(std::int64_t capacity_bytes);
+
+  bool enqueue(Packet pkt, sim::SimTime now) override;
+  std::optional<Packet> dequeue(sim::SimTime now) override;
+  bool empty() const override { return q_.empty(); }
+  std::int64_t backlog_bytes() const override { return backlog_; }
+  std::size_t backlog_packets() const override { return q_.size(); }
+
+ private:
+  struct Entry {
+    Packet pkt;
+    std::uint64_t arrival_seq;  ///< FIFO tiebreak within a priority level.
+  };
+  struct ByPriority {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.pkt.priority != b.pkt.priority)
+        return a.pkt.priority < b.pkt.priority;
+      return a.arrival_seq < b.arrival_seq;
+    }
+  };
+
+  std::int64_t capacity_;
+  std::int64_t backlog_ = 0;
+  std::uint64_t arrivals_ = 0;
+  std::multiset<Entry, ByPriority> q_;
+};
+
+/// Deficit round robin (Shreedhar & Varghese): per-flow FIFOs served in a
+/// round-robin of byte quanta — switch-enforced fair sharing. Used as the
+/// "perfectly fair switch" baseline: even exact fairness does not interleave
+/// periodic jobs, which is the gap MLTCP fills.
+class DrrQueue : public QueueDiscipline {
+ public:
+  DrrQueue(std::int64_t capacity_bytes, std::int64_t quantum_bytes = 1500);
+
+  bool enqueue(Packet pkt, sim::SimTime now) override;
+  std::optional<Packet> dequeue(sim::SimTime now) override;
+  bool empty() const override { return backlog_ == 0; }
+  std::int64_t backlog_bytes() const override { return backlog_; }
+  std::size_t backlog_packets() const override;
+
+  std::size_t active_flows() const { return flows_.size(); }
+
+ private:
+  struct FlowState {
+    std::deque<Packet> q;
+    std::int64_t deficit = 0;
+  };
+
+  std::int64_t capacity_;
+  std::int64_t quantum_;
+  std::int64_t backlog_ = 0;
+  std::map<FlowId, FlowState> flows_;
+  std::deque<FlowId> round_;  ///< Active-flow service order.
+};
+
+/// RED (Floyd & Jacobson): probabilistic early drop (or ECN mark for
+/// ECN-capable packets) once the EWMA queue size exceeds min_threshold,
+/// ramping to certainty at max_threshold.
+class RedQueue : public QueueDiscipline {
+ public:
+  struct Config {
+    std::int64_t capacity_bytes = 256 * 1500;
+    std::int64_t min_threshold_bytes = 30 * 1500;
+    std::int64_t max_threshold_bytes = 90 * 1500;
+    double max_probability = 0.1;
+    double ewma_weight = 0.002;
+    bool mark_instead_of_drop = false;  ///< ECN mode for capable packets.
+    std::uint64_t seed = 31;
+  };
+
+  explicit RedQueue(Config cfg);
+
+  bool enqueue(Packet pkt, sim::SimTime now) override;
+  std::optional<Packet> dequeue(sim::SimTime now) override;
+  bool empty() const override { return q_.empty(); }
+  std::int64_t backlog_bytes() const override { return backlog_; }
+  std::size_t backlog_packets() const override { return q_.size(); }
+
+  double average_queue_bytes() const { return avg_; }
+
+ private:
+  double next_uniform();
+
+  Config cfg_;
+  std::int64_t backlog_ = 0;
+  double avg_ = 0.0;
+  std::uint64_t rng_state_;
+  std::deque<Packet> q_;
+};
+
+/// Decorator injecting i.i.d. Bernoulli packet loss in front of another
+/// queue discipline. Used by the §5 fairness experiments to measure
+/// throughput as a function of loss probability (Mathis et al. style).
+class RandomDropQueue : public QueueDiscipline {
+ public:
+  /// `drop_probability` in [0, 1]; `seed` makes runs reproducible.
+  RandomDropQueue(std::unique_ptr<QueueDiscipline> inner,
+                  double drop_probability, std::uint64_t seed);
+
+  bool enqueue(Packet pkt, sim::SimTime now) override;
+  std::optional<Packet> dequeue(sim::SimTime now) override;
+  bool empty() const override { return inner_->empty(); }
+  std::int64_t backlog_bytes() const override {
+    return inner_->backlog_bytes();
+  }
+  std::size_t backlog_packets() const override {
+    return inner_->backlog_packets();
+  }
+
+  std::int64_t random_drops() const { return random_drops_; }
+
+  /// Changes the loss probability mid-run (e.g. to emulate a transient
+  /// blackout or a flapping link).
+  void set_drop_probability(double p);
+  double drop_probability() const { return p_; }
+
+ private:
+  std::unique_ptr<QueueDiscipline> inner_;
+  double p_;
+  std::uint64_t state_;
+  std::int64_t random_drops_ = 0;
+};
+
+/// Convenience factories.
+QueueFactory make_droptail_factory(std::int64_t capacity_bytes);
+QueueFactory make_ecn_factory(std::int64_t capacity_bytes,
+                              std::int64_t mark_threshold_bytes);
+QueueFactory make_pfabric_factory(std::int64_t capacity_bytes);
+QueueFactory make_random_drop_factory(double drop_probability,
+                                      std::int64_t capacity_bytes,
+                                      std::uint64_t seed = 99);
+QueueFactory make_drr_factory(std::int64_t capacity_bytes,
+                              std::int64_t quantum_bytes = 1500);
+QueueFactory make_red_factory(RedQueue::Config cfg = {});
+
+}  // namespace mltcp::net

@@ -1,0 +1,175 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+namespace mltcp::net {
+
+Host* Topology::add_host(const std::string& name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  auto host = std::make_unique<Host>(id, name);
+  Host* ptr = host.get();
+  nodes_.push_back(std::move(host));
+  hosts_.push_back(ptr);
+  return ptr;
+}
+
+Switch* Topology::add_switch(const std::string& name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  auto sw = std::make_unique<Switch>(id, name);
+  Switch* ptr = sw.get();
+  nodes_.push_back(std::move(sw));
+  switches_.push_back(ptr);
+  return ptr;
+}
+
+void Topology::connect(Node& a, Node& b, double rate_bps, sim::SimTime delay,
+                       const QueueFactory& queue_factory) {
+  assert(queue_factory != nullptr);
+  auto make_link = [&](Node& from, Node& to) {
+    auto link = std::make_unique<Link>(
+        sim_, from.name() + "->" + to.name(), rate_bps, delay, queue_factory(),
+        &to);
+    Link* ptr = link.get();
+    links_.push_back(std::move(link));
+    by_endpoints_[{from.id(), to.id()}] = ptr;
+    adjacency_[from.id()].emplace_back(to.id(), ptr);
+    if (auto* host = dynamic_cast<Host*>(&from)) host->set_uplink(ptr);
+    return ptr;
+  };
+  make_link(a, b);
+  make_link(b, a);
+}
+
+void Topology::build_routes() {
+  // BFS from every switch: the first hop taken out of the switch is
+  // propagated to every node discovered through it.
+  for (Switch* sw : switches_) {
+    std::unordered_map<NodeId, Link*> first_hop;
+    std::deque<NodeId> frontier;
+    first_hop[sw->id()] = nullptr;
+    frontier.push_back(sw->id());
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      auto it = adjacency_.find(cur);
+      if (it == adjacency_.end()) continue;
+      // Hosts do not forward transit traffic.
+      if (cur != sw->id() && dynamic_cast<Host*>(node(cur)) != nullptr)
+        continue;
+      for (const auto& [next, link] : it->second) {
+        if (first_hop.count(next) > 0) continue;
+        first_hop[next] = (cur == sw->id()) ? link : first_hop[cur];
+        frontier.push_back(next);
+      }
+    }
+    for (const Host* host : hosts_) {
+      auto it = first_hop.find(host->id());
+      if (it != first_hop.end() && it->second != nullptr) {
+        sw->set_route(host->id(), it->second);
+      }
+    }
+  }
+}
+
+Link* Topology::link_between(const Node& a, const Node& b) const {
+  auto it = by_endpoints_.find({a.id(), b.id()});
+  return it == by_endpoints_.end() ? nullptr : it->second;
+}
+
+Node* Topology::node(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) return nullptr;
+  return nodes_[static_cast<std::size_t>(id)].get();
+}
+
+namespace {
+QueueFactory default_queue_or(const QueueFactory& given,
+                              std::int64_t capacity_bytes) {
+  return given != nullptr ? given : make_droptail_factory(capacity_bytes);
+}
+}  // namespace
+
+Dumbbell make_dumbbell(sim::Simulator& simulator, const DumbbellConfig& cfg) {
+  assert(cfg.hosts_per_side > 0);
+  Dumbbell d;
+  d.topology = std::make_unique<Topology>(simulator);
+  Topology& topo = *d.topology;
+
+  d.left_switch = topo.add_switch("swL");
+  d.right_switch = topo.add_switch("swR");
+
+  const QueueFactory host_q = default_queue_or(cfg.host_queue, 4 * 1024 * 1024);
+  // Default bottleneck buffer: ~1 BDP-ish region scaled by rate; a deep
+  // enough buffer for Reno sawtooth while still forcing loss under overload.
+  const auto bneck_cap = static_cast<std::int64_t>(
+      cfg.bottleneck_rate_bps / 8.0 * sim::to_seconds(sim::milliseconds(2)));
+  const QueueFactory bneck_q = default_queue_or(
+      cfg.bottleneck_queue, bneck_cap > 64 * 1500 ? bneck_cap : 64 * 1500);
+
+  topo.connect(*d.left_switch, *d.right_switch, cfg.bottleneck_rate_bps,
+               cfg.bottleneck_delay, bneck_q);
+
+  for (int i = 0; i < cfg.hosts_per_side; ++i) {
+    Host* l = topo.add_host("hL" + std::to_string(i));
+    Host* r = topo.add_host("hR" + std::to_string(i));
+    topo.connect(*l, *d.left_switch, cfg.host_rate_bps, cfg.host_delay,
+                 host_q);
+    topo.connect(*r, *d.right_switch, cfg.host_rate_bps, cfg.host_delay,
+                 host_q);
+    d.left.push_back(l);
+    d.right.push_back(r);
+  }
+
+  topo.build_routes();
+  d.bottleneck = topo.link_between(*d.left_switch, *d.right_switch);
+  d.bottleneck_reverse = topo.link_between(*d.right_switch, *d.left_switch);
+  return d;
+}
+
+Star make_star(sim::Simulator& simulator, const StarConfig& cfg) {
+  assert(cfg.n_hosts > 0);
+  Star s;
+  s.topology = std::make_unique<Topology>(simulator);
+  Topology& topo = *s.topology;
+  s.hub = topo.add_switch("hub");
+  const QueueFactory q = default_queue_or(cfg.queue, 512 * 1500);
+  for (int i = 0; i < cfg.n_hosts; ++i) {
+    Host* h = topo.add_host("h" + std::to_string(i));
+    topo.connect(*h, *s.hub, cfg.rate_bps, cfg.delay, q);
+    s.hosts.push_back(h);
+  }
+  topo.build_routes();
+  return s;
+}
+
+LeafSpine make_leaf_spine(sim::Simulator& simulator,
+                          const LeafSpineConfig& cfg) {
+  assert(cfg.racks > 0 && cfg.hosts_per_rack > 0 && cfg.spines > 0);
+  LeafSpine ls;
+  ls.topology = std::make_unique<Topology>(simulator);
+  Topology& topo = *ls.topology;
+  const QueueFactory q = default_queue_or(cfg.queue, 512 * 1500);
+
+  for (int s = 0; s < cfg.spines; ++s) {
+    ls.spines.push_back(topo.add_switch("spine" + std::to_string(s)));
+  }
+  for (int r = 0; r < cfg.racks; ++r) {
+    Switch* tor = topo.add_switch("tor" + std::to_string(r));
+    ls.tors.push_back(tor);
+    ls.racks.emplace_back();
+    for (int h = 0; h < cfg.hosts_per_rack; ++h) {
+      Host* host =
+          topo.add_host("h" + std::to_string(r) + "_" + std::to_string(h));
+      topo.connect(*host, *tor, cfg.host_rate_bps, cfg.host_delay, q);
+      ls.racks.back().push_back(host);
+    }
+    for (Switch* spine : ls.spines) {
+      topo.connect(*tor, *spine, cfg.fabric_rate_bps, cfg.fabric_delay, q);
+    }
+  }
+  topo.build_routes();
+  return ls;
+}
+
+}  // namespace mltcp::net

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace mltcp::net {
+
+/// Owns every node and link of one simulated network and computes static
+/// shortest-path routes.
+class Topology {
+ public:
+  explicit Topology(sim::Simulator& simulator) : sim_(simulator) {}
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  Host* add_host(const std::string& name);
+  Switch* add_switch(const std::string& name);
+
+  /// Creates a bidirectional connection (two directed links) between `a` and
+  /// `b`. If an endpoint is a Host its uplink is set to the new egress link.
+  void connect(Node& a, Node& b, double rate_bps, sim::SimTime delay,
+               const QueueFactory& queue_factory);
+
+  /// Populates every switch's forwarding table with BFS shortest paths.
+  /// Must be called after all connect() calls and before traffic starts.
+  void build_routes();
+
+  /// The directed link from `a` to `b`, or nullptr if they are not adjacent.
+  Link* link_between(const Node& a, const Node& b) const;
+
+  const std::vector<Host*>& hosts() const { return hosts_; }
+  const std::vector<Switch*>& switches() const { return switches_; }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+  Node* node(NodeId id) const;
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<Host*> hosts_;
+  std::vector<Switch*> switches_;
+  std::map<std::pair<NodeId, NodeId>, Link*> by_endpoints_;
+  std::map<NodeId, std::vector<std::pair<NodeId, Link*>>> adjacency_;
+};
+
+/// A dumbbell: `hosts_per_side` hosts on each side of a two-switch
+/// bottleneck, the topology of the paper's testbed.
+struct DumbbellConfig {
+  int hosts_per_side = 4;
+  double host_rate_bps = 10e9;
+  double bottleneck_rate_bps = 1e9;
+  sim::SimTime host_delay = sim::microseconds(5);
+  sim::SimTime bottleneck_delay = sim::microseconds(10);
+  QueueFactory host_queue;        ///< Defaults to a deep drop-tail.
+  QueueFactory bottleneck_queue;  ///< Defaults to a BDP-scaled drop-tail.
+};
+
+struct Dumbbell {
+  std::unique_ptr<Topology> topology;
+  std::vector<Host*> left;
+  std::vector<Host*> right;
+  Switch* left_switch = nullptr;
+  Switch* right_switch = nullptr;
+  Link* bottleneck = nullptr;          ///< left -> right direction.
+  Link* bottleneck_reverse = nullptr;  ///< right -> left direction.
+};
+
+Dumbbell make_dumbbell(sim::Simulator& simulator, const DumbbellConfig& cfg);
+
+/// A single-switch star with `n_hosts` hosts, each on its own access link.
+struct StarConfig {
+  int n_hosts = 4;
+  double rate_bps = 1e9;
+  sim::SimTime delay = sim::microseconds(10);
+  QueueFactory queue;
+};
+
+struct Star {
+  std::unique_ptr<Topology> topology;
+  std::vector<Host*> hosts;
+  Switch* hub = nullptr;
+};
+
+Star make_star(sim::Simulator& simulator, const StarConfig& cfg);
+
+/// Two-tier leaf-spine: `racks` ToR switches with `hosts_per_rack` hosts
+/// each, every ToR connected to every one of `spines` spine switches.
+struct LeafSpineConfig {
+  int racks = 2;
+  int hosts_per_rack = 4;
+  int spines = 1;
+  double host_rate_bps = 10e9;
+  double fabric_rate_bps = 10e9;
+  sim::SimTime host_delay = sim::microseconds(5);
+  sim::SimTime fabric_delay = sim::microseconds(10);
+  QueueFactory queue;
+};
+
+struct LeafSpine {
+  std::unique_ptr<Topology> topology;
+  std::vector<std::vector<Host*>> racks;  ///< racks[r][h]
+  std::vector<Switch*> tors;
+  std::vector<Switch*> spines;
+};
+
+LeafSpine make_leaf_spine(sim::Simulator& simulator,
+                          const LeafSpineConfig& cfg);
+
+}  // namespace mltcp::net

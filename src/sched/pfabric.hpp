@@ -1,0 +1,41 @@
+#pragma once
+
+#include <memory>
+
+#include "tcp/cong_control.hpp"
+
+namespace mltcp::sched {
+
+/// pFabric end-host transport (Alizadeh et al., SIGCOMM'13), simplified per
+/// the original design: flows start at (near) line rate with a fixed window
+/// sized to the bandwidth-delay product, do not back off on loss (the
+/// priority-dropping fabric handles contention), and rely on timeouts to
+/// recover. Scheduling lives in the switches: data packets carry the flow's
+/// remaining bytes as priority (enable SenderConfig::pfabric_priority) and
+/// bottleneck queues run PfabricPriorityQueue.
+struct PfabricConfig {
+  double window_segments = 64.0;  ///< ~BDP plus headroom.
+};
+
+class PfabricCC : public tcp::CongestionControl {
+ public:
+  explicit PfabricCC(PfabricConfig cfg = {})
+      : tcp::CongestionControl(nullptr), cfg_(cfg) {}
+
+  void on_ack(const tcp::AckContext& ctx) override { gain_->on_ack(ctx); }
+  void on_loss(sim::SimTime /*now*/) override {}
+  void on_timeout(sim::SimTime /*now*/) override {}
+
+  double cwnd() const override { return cfg_.window_segments; }
+  double ssthresh() const override { return cfg_.window_segments; }
+  std::string name() const override { return "pfabric"; }
+
+ private:
+  PfabricConfig cfg_;
+};
+
+inline tcp::CcFactory pfabric_factory(PfabricConfig cfg = {}) {
+  return [cfg] { return std::make_unique<PfabricCC>(cfg); };
+}
+
+}  // namespace mltcp::sched

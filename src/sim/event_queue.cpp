@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mltcp::sim {
+
+EventId EventQueue::schedule(SimTime when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Heap entries cannot be removed from the middle; erasing from `pending_`
+  // tombstones the entry, and drop_dead_front() discards it when it surfaces.
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::drop_dead_front() const {
+  while (!heap_.empty() && pending_.count(heap_.top().id) == 0) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  if (pending_.empty()) return kTimeInfinity;
+  drop_dead_front();
+  return heap_.top().when;
+}
+
+std::pair<SimTime, std::function<void()>> EventQueue::pop() {
+  drop_dead_front();
+  assert(!heap_.empty() && "pop on empty queue");
+  // Move the entry out before running: the callback may schedule or cancel.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_.erase(e.id);
+  return {e.when, std::move(e.fn)};
+}
+
+SimTime EventQueue::pop_and_run() {
+  auto [when, fn] = pop();
+  fn();
+  return when;
+}
+
+}  // namespace mltcp::sim

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mltcp::sim {
+
+/// Identifies a scheduled event so it can be cancelled. Ids are never reused
+/// within one queue instance.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Min-heap of timestamped callbacks. Events at equal timestamps fire in
+/// scheduling order (FIFO), which keeps runs deterministic.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` to run at absolute time `when`.
+  EventId schedule(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op. Returns true if the event was pending.
+  bool cancel(EventId id);
+
+  /// True when an event with this id is still waiting to fire.
+  bool pending(EventId id) const { return pending_.count(id) > 0; }
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  /// Timestamp of the next live event; kTimeInfinity when empty.
+  SimTime next_time() const;
+
+  /// Removes the next live event and returns (timestamp, callback) without
+  /// running it, so the caller can advance its clock first.
+  /// Precondition: !empty().
+  std::pair<SimTime, std::function<void()>> pop();
+
+  /// Pops and runs the next live event, returning its timestamp.
+  /// Precondition: !empty().
+  SimTime pop_and_run();
+
+  std::uint64_t total_scheduled() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime when = 0;
+    EventId id = kInvalidEventId;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  /// Removes cancelled entries sitting at the heap top.
+  void drop_dead_front() const;
+
+  // `mutable` so const peeks (next_time) can drop tombstoned entries.
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace mltcp::sim

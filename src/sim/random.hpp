@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+namespace mltcp::sim {
+
+/// PCG32 pseudo-random generator (O'Neill, pcg-random.org): small, fast and
+/// statistically strong enough for workload noise. Seeded explicitly so every
+/// experiment is reproducible.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Gaussian with the given mean and standard deviation (Box-Muller).
+  double normal(double mean, double stddev);
+
+  /// Exponential with the given mean. Requires mean > 0.
+  double exponential(double mean);
+
+  /// Independent generator derived from this one; used to give each model
+  /// component its own stream so adding a component never perturbs others.
+  Rng fork();
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace mltcp::sim

@@ -1,0 +1,26 @@
+#include "sim/simulator.hpp"
+
+namespace mltcp::sim {
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    auto [when, fn] = queue_.pop();
+    now_ = when;  // the clock reads `when` while the event executes
+    fn();
+    ++executed_;
+  }
+}
+
+void Simulator::run_until(SimTime deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    auto [when, fn] = queue_.pop();
+    now_ = when;
+    fn();
+    ++executed_;
+  }
+  if (!stopped_ && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace mltcp::sim

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace mltcp::sim {
+
+/// Owns the simulation clock and event queue. All model components hold a
+/// reference to one Simulator and schedule work through it.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now. Negative delays are clamped to 0
+  /// (fire "immediately", after currently-runnable events at `now`).
+  EventId schedule(SimTime delay, std::function<void()> fn) {
+    return queue_.schedule(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `when` (clamped to now()).
+  EventId schedule_at(SimTime when, std::function<void()> fn) {
+    return queue_.schedule(when > now_ ? when : now_, std::move(fn));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool pending(EventId id) const { return queue_.pending(id); }
+
+  /// Runs events until the queue drains or stop() is called.
+  void run();
+
+  /// Runs events with timestamp <= `deadline`; the clock ends at `deadline`
+  /// (or earlier if stopped / drained).
+  void run_until(SimTime deadline);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace mltcp::sim

@@ -1,0 +1,21 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace mltcp::sim {
+
+std::string format_time(SimTime t) {
+  char buf[64];
+  if (t >= seconds(1)) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", to_seconds(t));
+  } else if (t >= milliseconds(1)) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", to_milliseconds(t));
+  } else if (t >= microseconds(1)) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", to_microseconds(t));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+}  // namespace mltcp::sim

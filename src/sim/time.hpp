@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mltcp::sim {
+
+/// Simulated time. All simulation timestamps and durations are expressed in
+/// integer nanoseconds to keep event ordering exact and reproducible.
+using SimTime = std::int64_t;
+
+/// Sentinel for "no deadline" / "never".
+inline constexpr SimTime kTimeInfinity = INT64_MAX;
+
+constexpr SimTime nanoseconds(std::int64_t v) { return v; }
+constexpr SimTime microseconds(std::int64_t v) { return v * 1'000; }
+constexpr SimTime milliseconds(std::int64_t v) { return v * 1'000'000; }
+constexpr SimTime seconds(std::int64_t v) { return v * 1'000'000'000; }
+
+/// Converts a floating-point second count to SimTime (rounded to nearest ns).
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_milliseconds(SimTime t) {
+  return static_cast<double>(t) * 1e-6;
+}
+constexpr double to_microseconds(SimTime t) {
+  return static_cast<double>(t) * 1e-3;
+}
+
+/// Duration needed to serialize `bytes` onto a link of `rate_bps` bits/sec.
+constexpr SimTime transmission_time(std::int64_t bytes, double rate_bps) {
+  return from_seconds(static_cast<double>(bytes) * 8.0 / rate_bps);
+}
+
+/// Human-readable rendering, e.g. "1.250ms", used by traces and examples.
+std::string format_time(SimTime t);
+
+}  // namespace mltcp::sim

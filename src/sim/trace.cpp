@@ -1,0 +1,54 @@
+#include "sim/trace.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mltcp::sim {
+
+RateBinner::RateBinner(SimTime bin_width) : bin_width_(bin_width) {
+  assert(bin_width > 0);
+}
+
+void RateBinner::add(SimTime when, std::int64_t bytes) {
+  if (when < 0) when = 0;
+  const auto idx = static_cast<std::size_t>(when / bin_width_);
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0);
+  bins_[idx] += bytes;
+  total_bytes_ += bytes;
+}
+
+double RateBinner::rate_bps(std::size_t i) const {
+  if (i >= bins_.size()) return 0.0;
+  return static_cast<double>(bins_[i]) * 8.0 / to_seconds(bin_width_);
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header) {
+  f_ = std::fopen(path.c_str(), "w");
+  if (f_ == nullptr) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    std::fprintf(f_, "%s%s", header[i].c_str(),
+                 i + 1 < header.size() ? "," : "\n");
+  }
+}
+
+CsvWriter::~CsvWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(f_, "%.9g%s", values[i], i + 1 < values.size() ? "," : "\n");
+  }
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(f_, "%s%s", values[i].c_str(),
+                 i + 1 < values.size() ? "," : "\n");
+  }
+}
+
+}  // namespace mltcp::sim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mltcp::sim {
+
+/// Accumulates byte counts into fixed-width time bins and reports the rate in
+/// each bin. Used to regenerate the paper's bandwidth-vs-time plots.
+class RateBinner {
+ public:
+  /// `bin_width` is the width of each bin; must be > 0.
+  explicit RateBinner(SimTime bin_width);
+
+  /// Records `bytes` transferred at time `when`.
+  void add(SimTime when, std::int64_t bytes);
+
+  /// Number of bins touched so far (index of last non-empty bin + 1).
+  std::size_t bin_count() const { return bins_.size(); }
+
+  SimTime bin_width() const { return bin_width_; }
+
+  /// Midpoint time of bin `i`.
+  SimTime bin_time(std::size_t i) const {
+    return static_cast<SimTime>(i) * bin_width_ + bin_width_ / 2;
+  }
+
+  /// Average rate in bin `i`, in bits per second.
+  double rate_bps(std::size_t i) const;
+
+  /// Average rate in bin `i`, in gigabits per second.
+  double rate_gbps(std::size_t i) const { return rate_bps(i) * 1e-9; }
+
+  std::int64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  SimTime bin_width_;
+  std::vector<std::int64_t> bins_;
+  std::int64_t total_bytes_ = 0;
+};
+
+/// Minimal CSV writer for experiment output. Values are written row by row;
+/// the header is written on construction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void row(const std::vector<double>& values);
+  void row(const std::vector<std::string>& values);
+
+ private:
+  std::FILE* f_ = nullptr;
+};
+
+}  // namespace mltcp::sim

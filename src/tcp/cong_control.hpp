@@ -1,0 +1,88 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace mltcp::tcp {
+
+/// Everything a congestion controller may want to know about one
+/// acknowledgement that advanced the window.
+struct AckContext {
+  sim::SimTime now = 0;
+  /// Segments newly acknowledged by this ACK (the paper's `#num_acks`).
+  int num_acked = 0;
+  /// Cumulative acknowledgement (next expected segment).
+  std::int64_t ack_seq = 0;
+  /// ECN Echo flag carried by the ACK.
+  bool ece = false;
+  /// RTT sample from the timestamp option, or -1 when unusable (Karn).
+  sim::SimTime rtt_sample = -1;
+};
+
+/// Hook that scales the congestion-avoidance window increase. This is the
+/// seam MLTCP plugs into: the base controllers multiply their additive
+/// increase by gain(). The default is the neutral gain of standard TCP.
+class WindowGain {
+ public:
+  virtual ~WindowGain() = default;
+
+  /// Observes every in-sequence acknowledgement (MLTCP's byte accounting).
+  virtual void on_ack(const AckContext& /*ctx*/) {}
+
+  /// Multiplier applied to the congestion-avoidance increase step.
+  virtual double gain() const { return 1.0; }
+
+  virtual std::string name() const { return "unit"; }
+};
+
+/// Window-based congestion control. The controller owns cwnd and ssthresh;
+/// the sender asks for cwnd() when deciding whether to transmit.
+///
+/// All window arithmetic is in segments (a double, so sub-segment additive
+/// increases accumulate exactly as in the kernel's fixed-point code).
+class CongestionControl {
+ public:
+  explicit CongestionControl(std::shared_ptr<WindowGain> gain)
+      : gain_(gain != nullptr ? std::move(gain)
+                              : std::make_shared<WindowGain>()) {}
+  virtual ~CongestionControl() = default;
+
+  CongestionControl(const CongestionControl&) = delete;
+  CongestionControl& operator=(const CongestionControl&) = delete;
+
+  /// Called for every ACK that acknowledged new data.
+  virtual void on_ack(const AckContext& ctx) = 0;
+
+  /// Called once per loss event (third duplicate ACK / fast retransmit).
+  virtual void on_loss(sim::SimTime now) = 0;
+
+  /// Called when the retransmission timer fires.
+  virtual void on_timeout(sim::SimTime now) = 0;
+
+  /// Called when the connection restarts after an application-limited idle
+  /// period (RFC 2861 congestion window validation — Linux's
+  /// tcp_slow_start_after_idle). Controllers typically reset cwnd to its
+  /// initial value while keeping ssthresh.
+  virtual void on_idle_restart(sim::SimTime /*now*/) {}
+
+  virtual double cwnd() const = 0;
+  virtual double ssthresh() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Whether data packets should be sent ECN-capable (DCTCP).
+  virtual bool wants_ecn() const { return false; }
+
+  WindowGain& window_gain() { return *gain_; }
+  const WindowGain& window_gain() const { return *gain_; }
+
+ protected:
+  std::shared_ptr<WindowGain> gain_;
+};
+
+/// Factory so experiment harnesses can stamp out one controller per flow.
+using CcFactory = std::function<std::unique_ptr<CongestionControl>()>;
+
+}  // namespace mltcp::tcp

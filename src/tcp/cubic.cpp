@@ -1,0 +1,101 @@
+#include "tcp/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mltcp::tcp {
+
+CubicCC::CubicCC(CubicConfig cfg, std::shared_ptr<WindowGain> gain)
+    : CongestionControl(std::move(gain)),
+      cfg_(cfg),
+      cwnd_(cfg.initial_cwnd),
+      ssthresh_(cfg.initial_ssthresh) {}
+
+double CubicCC::cubic_window(double t_seconds) const {
+  // MLTCP-CUBIC: the aggressiveness gain steepens the cubic curve itself
+  // (multiplying C), so a flow late in its iteration reclaims and probes
+  // for bandwidth faster — the CUBIC analogue of scaling Reno's additive
+  // increase.
+  const double dt = t_seconds - k_;
+  return cfg_.c * gain_->gain() * dt * dt * dt + w_max_;
+}
+
+void CubicCC::reset_epoch(sim::SimTime now) {
+  epoch_start_ = now;
+  if (cwnd_ < w_max_) {
+    k_ = std::cbrt((w_max_ - cwnd_) / cfg_.c);
+  } else {
+    k_ = 0.0;
+    w_max_ = cwnd_;
+  }
+}
+
+void CubicCC::on_ack(const AckContext& ctx) {
+  gain_->on_ack(ctx);
+  if (ctx.num_acked <= 0) return;
+  if (ctx.rtt_sample > 0) last_rtt_ = ctx.rtt_sample;
+
+  if (in_slow_start()) {
+    cwnd_ += ctx.num_acked;
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+    return;
+  }
+  if (epoch_start_ < 0) reset_epoch(ctx.now);
+
+  // Growth toward the cubic target one RTT ahead, spread across the ACKs of
+  // a window, then scaled by the MLTCP gain.
+  const double t =
+      sim::to_seconds(ctx.now - epoch_start_) + sim::to_seconds(last_rtt_);
+  double target = cubic_window(t);
+  // RFC 8312 TCP-friendly region: never grow slower than an AIMD flow with
+  // the same beta would. Without this, large-BDP epochs crawl along the
+  // flat center of the cubic curve. The AIMD slope carries the MLTCP gain,
+  // exactly as Eq. 1 scales Reno's additive increase.
+  const double rtt_s = std::max(sim::to_seconds(last_rtt_), 1e-6);
+  const double w_est = w_max_ * cfg_.beta +
+                       gain_->gain() * 3.0 * (1.0 - cfg_.beta) /
+                           (1.0 + cfg_.beta) * (t / rtt_s);
+  target = std::max(target, w_est);
+  double increment = 0.0;
+  if (target > cwnd_) {
+    increment = (target - cwnd_) / cwnd_;
+  } else {
+    increment = 0.01 / cwnd_;  // slow drift, as in the kernel's min growth
+  }
+  cwnd_ += gain_->gain() * increment * static_cast<double>(ctx.num_acked);
+}
+
+void CubicCC::on_loss(sim::SimTime now) {
+  w_max_ = cwnd_;
+  // MLTCP-CUBIC: CUBIC's W_max memory makes flow shares insensitive to the
+  // growth-rate gain alone, so the gain also modulates the multiplicative
+  // decrease: beta_eff = beta^(1/gain). gain = 1 is stock CUBIC; a flow
+  // late in its iteration (gain ~ 2) backs off less, one that just started
+  // (gain ~ 0.25) backs off more — the same asymmetry Eq. 1 gives Reno.
+  const double g = std::max(gain_->gain(), 0.05);
+  const double beta_eff = std::pow(cfg_.beta, 1.0 / g);
+  cwnd_ = std::max(cwnd_ * beta_eff, cfg_.min_cwnd);
+  ssthresh_ = cwnd_;
+  epoch_start_ = -1;
+  k_ = std::cbrt(w_max_ * (1.0 - beta_eff) / cfg_.c);
+  (void)now;
+}
+
+void CubicCC::on_timeout(sim::SimTime /*now*/) {
+  w_max_ = cwnd_;
+  ssthresh_ = std::max(cwnd_ * cfg_.beta, cfg_.min_cwnd);
+  cwnd_ = 1.0;
+  epoch_start_ = -1;
+}
+
+void CubicCC::on_idle_restart(sim::SimTime /*now*/) {
+  cwnd_ = cfg_.initial_cwnd;
+  epoch_start_ = -1;
+}
+
+std::string CubicCC::name() const {
+  return gain_->name() == "unit" ? "cubic"
+                                 : "mltcp-cubic[" + gain_->name() + "]";
+}
+
+}  // namespace mltcp::tcp

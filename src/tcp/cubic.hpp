@@ -1,0 +1,50 @@
+#pragma once
+
+#include "tcp/cong_control.hpp"
+
+namespace mltcp::tcp {
+
+struct CubicConfig {
+  double initial_cwnd = 10.0;
+  double initial_ssthresh = 1e9;
+  double min_cwnd = 2.0;
+  double c = 0.4;     ///< Cubic scaling constant.
+  double beta = 0.7;  ///< Multiplicative-decrease factor.
+};
+
+/// TCP CUBIC (Ha, Rhee, Xu 2008): the window grows along a cubic curve
+/// anchored at the window size of the last loss. The per-ACK growth step is
+/// scaled by the WindowGain, which is how MLTCP-CUBIC is obtained (§6 of the
+/// paper: "other congestion control schemes are augmented in a similar way").
+class CubicCC : public CongestionControl {
+ public:
+  explicit CubicCC(CubicConfig cfg = {},
+                   std::shared_ptr<WindowGain> gain = {});
+
+  void on_ack(const AckContext& ctx) override;
+  void on_loss(sim::SimTime now) override;
+  void on_timeout(sim::SimTime now) override;
+  void on_idle_restart(sim::SimTime now) override;
+
+  double cwnd() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+  std::string name() const override;
+
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+  double w_max() const { return w_max_; }
+
+ private:
+  /// Target window of the cubic curve at time `t` after the last loss.
+  double cubic_window(double t_seconds) const;
+  void reset_epoch(sim::SimTime now);
+
+  CubicConfig cfg_;
+  double cwnd_;
+  double ssthresh_;
+  double w_max_ = 0.0;
+  double k_ = 0.0;  ///< Time (s) for the curve to return to w_max_.
+  sim::SimTime epoch_start_ = -1;
+  sim::SimTime last_rtt_ = sim::microseconds(100);
+};
+
+}  // namespace mltcp::tcp

@@ -1,0 +1,64 @@
+#include "tcp/dctcp.hpp"
+
+#include <algorithm>
+
+namespace mltcp::tcp {
+
+DctcpCC::DctcpCC(DctcpConfig cfg, std::shared_ptr<WindowGain> gain)
+    : CongestionControl(std::move(gain)),
+      cfg_(cfg),
+      cwnd_(cfg.initial_cwnd),
+      ssthresh_(cfg.initial_ssthresh) {}
+
+void DctcpCC::end_of_window(std::int64_t ack_seq) {
+  if (acked_in_window_ > 0) {
+    const double frac = static_cast<double>(marked_in_window_) /
+                        static_cast<double>(acked_in_window_);
+    alpha_ = (1.0 - cfg_.g) * alpha_ + cfg_.g * frac;
+    if (marked_in_window_ > 0) {
+      cwnd_ = std::max(cwnd_ * (1.0 - alpha_ / 2.0), cfg_.min_cwnd);
+      ssthresh_ = cwnd_;
+    }
+  }
+  acked_in_window_ = 0;
+  marked_in_window_ = 0;
+  window_end_seq_ = ack_seq + static_cast<std::int64_t>(cwnd_) + 1;
+}
+
+void DctcpCC::on_ack(const AckContext& ctx) {
+  gain_->on_ack(ctx);
+  if (ctx.num_acked <= 0) return;
+
+  acked_in_window_ += ctx.num_acked;
+  if (ctx.ece) marked_in_window_ += ctx.num_acked;
+
+  if (ctx.ack_seq >= window_end_seq_) end_of_window(ctx.ack_seq);
+
+  if (in_slow_start()) {
+    cwnd_ += ctx.num_acked;
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+    return;
+  }
+  cwnd_ += gain_->gain() * static_cast<double>(ctx.num_acked) / cwnd_;
+}
+
+void DctcpCC::on_loss(sim::SimTime /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, cfg_.min_cwnd);
+  cwnd_ = ssthresh_;
+}
+
+void DctcpCC::on_timeout(sim::SimTime /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, cfg_.min_cwnd);
+  cwnd_ = 1.0;
+}
+
+void DctcpCC::on_idle_restart(sim::SimTime /*now*/) {
+  cwnd_ = cfg_.initial_cwnd;
+}
+
+std::string DctcpCC::name() const {
+  return gain_->name() == "unit" ? "dctcp"
+                                 : "mltcp-dctcp[" + gain_->name() + "]";
+}
+
+}  // namespace mltcp::tcp

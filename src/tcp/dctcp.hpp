@@ -1,0 +1,50 @@
+#pragma once
+
+#include "tcp/cong_control.hpp"
+
+namespace mltcp::tcp {
+
+struct DctcpConfig {
+  double initial_cwnd = 10.0;
+  double initial_ssthresh = 1e9;
+  double min_cwnd = 2.0;
+  double g = 1.0 / 16.0;  ///< EWMA gain for the marked fraction (alpha).
+};
+
+/// DCTCP (Alizadeh et al., SIGCOMM'10): Reno-style additive increase, but the
+/// multiplicative decrease is proportional to the fraction of ECN-marked
+/// packets in the last window (alpha). The additive increase is scaled by the
+/// WindowGain, yielding MLTCP-DCTCP.
+class DctcpCC : public CongestionControl {
+ public:
+  explicit DctcpCC(DctcpConfig cfg = {},
+                   std::shared_ptr<WindowGain> gain = {});
+
+  void on_ack(const AckContext& ctx) override;
+  void on_loss(sim::SimTime now) override;
+  void on_timeout(sim::SimTime now) override;
+  void on_idle_restart(sim::SimTime now) override;
+
+  double cwnd() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+  std::string name() const override;
+  bool wants_ecn() const override { return true; }
+
+  double alpha() const { return alpha_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  void end_of_window(std::int64_t ack_seq);
+
+  DctcpConfig cfg_;
+  double cwnd_;
+  double ssthresh_;
+  double alpha_ = 0.0;
+
+  // Per-window mark accounting.
+  std::int64_t window_end_seq_ = 0;
+  std::int64_t acked_in_window_ = 0;
+  std::int64_t marked_in_window_ = 0;
+};
+
+}  // namespace mltcp::tcp

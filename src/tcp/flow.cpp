@@ -1,0 +1,26 @@
+#include "tcp/flow.hpp"
+
+namespace mltcp::tcp {
+
+TcpFlow::TcpFlow(sim::Simulator& simulator, net::Host& src, net::Host& dst,
+                 net::FlowId flow, std::unique_ptr<CongestionControl> cc,
+                 SenderConfig sender_cfg, ReceiverConfig receiver_cfg)
+    : src_(src), dst_(dst), flow_(flow) {
+  sender_ = std::make_unique<TcpSender>(simulator, src, dst.id(), flow,
+                                        std::move(cc), sender_cfg);
+  receiver_ = std::make_unique<TcpReceiver>(simulator, dst, src.id(), flow,
+                                            receiver_cfg);
+  src_.register_flow(flow, [this](const net::Packet& p) {
+    sender_->on_packet(p);
+  });
+  dst_.register_flow(flow, [this](const net::Packet& p) {
+    receiver_->on_packet(p);
+  });
+}
+
+TcpFlow::~TcpFlow() {
+  src_.unregister_flow(flow_);
+  dst_.unregister_flow(flow_);
+}
+
+}  // namespace mltcp::tcp

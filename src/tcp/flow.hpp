@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/receiver.hpp"
+#include "tcp/sender.hpp"
+
+namespace mltcp::tcp {
+
+/// One unidirectional TCP connection between two hosts: wires a TcpSender at
+/// the source and a TcpReceiver at the destination and registers both with
+/// their hosts' flow demultiplexers. Destroying the flow unregisters it.
+class TcpFlow {
+ public:
+  TcpFlow(sim::Simulator& simulator, net::Host& src, net::Host& dst,
+          net::FlowId flow, std::unique_ptr<CongestionControl> cc,
+          SenderConfig sender_cfg = {}, ReceiverConfig receiver_cfg = {});
+  ~TcpFlow();
+
+  TcpFlow(const TcpFlow&) = delete;
+  TcpFlow& operator=(const TcpFlow&) = delete;
+
+  /// See TcpSender::send_message.
+  void send_message(std::int64_t bytes,
+                    TcpSender::CompletionCallback on_complete) {
+    sender_->send_message(bytes, std::move(on_complete));
+  }
+
+  TcpSender& sender() { return *sender_; }
+  const TcpSender& sender() const { return *sender_; }
+  TcpReceiver& receiver() { return *receiver_; }
+  const TcpReceiver& receiver() const { return *receiver_; }
+  net::FlowId id() const { return flow_; }
+
+ private:
+  net::Host& src_;
+  net::Host& dst_;
+  net::FlowId flow_;
+  std::unique_ptr<TcpSender> sender_;
+  std::unique_ptr<TcpReceiver> receiver_;
+};
+
+}  // namespace mltcp::tcp

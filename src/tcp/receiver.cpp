@@ -1,0 +1,88 @@
+#include "tcp/receiver.hpp"
+
+namespace mltcp::tcp {
+
+TcpReceiver::TcpReceiver(sim::Simulator& simulator, net::Host& local,
+                         net::NodeId peer, net::FlowId flow,
+                         ReceiverConfig cfg)
+    : sim_(simulator), local_(local), peer_(peer), flow_(flow), cfg_(cfg) {}
+
+void TcpReceiver::on_packet(const net::Packet& pkt) {
+  if (pkt.type != net::PacketType::kData) return;
+  ++data_packets_;
+  if (pkt.ce) pending_ce_ = true;
+
+  if (pkt.seq == rcv_next_) {
+    ++rcv_next_;
+    // Absorb any previously buffered continuation.
+    while (!ooo_.empty() && *ooo_.begin() == rcv_next_) {
+      ooo_.erase(ooo_.begin());
+      ++rcv_next_;
+    }
+    ++unacked_in_order_;
+    if (unacked_in_order_ >= cfg_.ack_every) {
+      send_ack(pkt);
+    } else {
+      schedule_delayed_ack(pkt);
+    }
+    return;
+  }
+
+  if (pkt.seq > rcv_next_) {
+    ooo_.insert(pkt.seq);
+  }
+  // Below-window (spurious retransmission) or out-of-order: ACK immediately
+  // so the sender sees duplicate ACKs.
+  send_ack(pkt);
+}
+
+void TcpReceiver::schedule_delayed_ack(const net::Packet& trigger) {
+  pending_trigger_ = trigger;
+  if (delayed_ack_event_ != sim::kInvalidEventId &&
+      sim_.pending(delayed_ack_event_)) {
+    return;  // timer already running; it will ack cumulatively
+  }
+  delayed_ack_event_ = sim_.schedule(cfg_.delayed_ack_timeout,
+                                     [this] { send_ack(pending_trigger_); });
+}
+
+void TcpReceiver::send_ack(const net::Packet& trigger) {
+  if (delayed_ack_event_ != sim::kInvalidEventId) {
+    sim_.cancel(delayed_ack_event_);
+    delayed_ack_event_ = sim::kInvalidEventId;
+  }
+  unacked_in_order_ = 0;
+
+  net::Packet ack;
+  ack.flow = flow_;
+  ack.dst = peer_;
+  ack.type = net::PacketType::kAck;
+  ack.seq = rcv_next_;
+  ack.size_bytes = net::kAckBytes;
+  ack.ece = pending_ce_;
+  ack.tx_timestamp = trigger.tx_timestamp;  // echo for RTT sampling
+
+  if (cfg_.sack_enabled && !ooo_.empty()) {
+    // Summarize the out-of-order buffer as up to kMaxSackBlocks contiguous
+    // ranges, lowest first (the ranges nearest the hole matter most to the
+    // sender's scoreboard).
+    int block = 0;
+    auto it = ooo_.begin();
+    while (it != ooo_.end() && block < net::kMaxSackBlocks) {
+      const std::int64_t start = *it;
+      std::int64_t end = start + 1;
+      ++it;
+      while (it != ooo_.end() && *it == end) {
+        ++end;
+        ++it;
+      }
+      ack.sack[block++] = net::SackBlock{start, end};
+    }
+  }
+
+  pending_ce_ = false;
+  ++acks_sent_;
+  local_.send(ack);
+}
+
+}  // namespace mltcp::tcp

@@ -1,0 +1,44 @@
+#include "tcp/reno.hpp"
+
+#include <algorithm>
+
+namespace mltcp::tcp {
+
+RenoCC::RenoCC(RenoConfig cfg, std::shared_ptr<WindowGain> gain)
+    : CongestionControl(std::move(gain)),
+      cfg_(cfg),
+      cwnd_(cfg.initial_cwnd),
+      ssthresh_(cfg.initial_ssthresh) {}
+
+void RenoCC::on_ack(const AckContext& ctx) {
+  gain_->on_ack(ctx);
+  if (ctx.num_acked <= 0) return;
+  if (in_slow_start()) {
+    // Slow start doubles per RTT regardless of the aggressiveness function:
+    // MLTCP (Alg. 1) scales only the congestion-avoidance increment.
+    cwnd_ += ctx.num_acked;
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;  // do not overshoot into CA
+    return;
+  }
+  cwnd_ += gain_->gain() * static_cast<double>(ctx.num_acked) / cwnd_;
+}
+
+void RenoCC::on_loss(sim::SimTime /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, cfg_.min_cwnd);
+  cwnd_ = ssthresh_;
+}
+
+void RenoCC::on_timeout(sim::SimTime /*now*/) {
+  ssthresh_ = std::max(cwnd_ / 2.0, cfg_.min_cwnd);
+  cwnd_ = 1.0;
+}
+
+void RenoCC::on_idle_restart(sim::SimTime /*now*/) {
+  cwnd_ = cfg_.initial_cwnd;
+}
+
+std::string RenoCC::name() const {
+  return gain_->name() == "unit" ? "reno" : "mltcp-reno[" + gain_->name() + "]";
+}
+
+}  // namespace mltcp::tcp

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "tcp/cong_control.hpp"
+
+namespace mltcp::tcp {
+
+struct RenoConfig {
+  double initial_cwnd = 10.0;
+  double initial_ssthresh = 1e9;  ///< Effectively "infinite" at start.
+  double min_cwnd = 2.0;
+};
+
+/// TCP Reno: slow start + additive-increase/multiplicative-decrease
+/// congestion avoidance with cumulative-ACK byte counting. The additive
+/// increase is `gain * num_acked / cwnd` (Eq. 1 of the paper); standard Reno
+/// is the special case gain == 1.
+class RenoCC : public CongestionControl {
+ public:
+  explicit RenoCC(RenoConfig cfg = {}, std::shared_ptr<WindowGain> gain = {});
+
+  void on_ack(const AckContext& ctx) override;
+  void on_loss(sim::SimTime now) override;
+  void on_timeout(sim::SimTime now) override;
+  void on_idle_restart(sim::SimTime now) override;
+
+  double cwnd() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+  std::string name() const override;
+
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ protected:
+  RenoConfig cfg_;
+  double cwnd_;
+  double ssthresh_;
+};
+
+}  // namespace mltcp::tcp

@@ -1,0 +1,36 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <algorithm>
+
+namespace mltcp::tcp {
+
+RttEstimator::RttEstimator(sim::SimTime min_rto, sim::SimTime max_rto)
+    : min_rto_(min_rto), max_rto_(max_rto) {}
+
+void RttEstimator::add_sample(sim::SimTime rtt) {
+  if (rtt < 0) return;
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+    return;
+  }
+  // RFC 6298: alpha = 1/8, beta = 1/4.
+  const sim::SimTime err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
+  rttvar_ = rttvar_ + (err - rttvar_) / 4;
+  srtt_ = srtt_ + (rtt - srtt_) / 8;
+}
+
+sim::SimTime RttEstimator::rto() const {
+  sim::SimTime base = has_sample_ ? srtt_ + 4 * rttvar_ : sim::seconds(1);
+  base = std::max(base, min_rto_);
+  // Exponential backoff, saturating at max_rto_.
+  for (int i = 0; i < backoff_shift_ && base < max_rto_; ++i) base *= 2;
+  return std::min(base, max_rto_);
+}
+
+void RttEstimator::backoff() {
+  if (backoff_shift_ < 16) ++backoff_shift_;
+}
+
+}  // namespace mltcp::tcp

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace mltcp::tcp {
+
+/// RFC 6298 smoothed RTT estimation and retransmission-timeout computation,
+/// with a datacenter-appropriate minimum RTO.
+class RttEstimator {
+ public:
+  explicit RttEstimator(sim::SimTime min_rto = sim::milliseconds(1),
+                        sim::SimTime max_rto = sim::seconds(60));
+
+  /// Feeds one RTT measurement (from an un-retransmitted segment).
+  void add_sample(sim::SimTime rtt);
+
+  /// Current retransmission timeout, including exponential backoff.
+  sim::SimTime rto() const;
+
+  /// Doubles the timeout after a retransmission (Karn's algorithm).
+  void backoff();
+
+  /// Clears backoff once new data is acknowledged.
+  void reset_backoff() { backoff_shift_ = 0; }
+
+  bool has_sample() const { return has_sample_; }
+  sim::SimTime srtt() const { return srtt_; }
+  sim::SimTime rttvar() const { return rttvar_; }
+  int backoff_shift() const { return backoff_shift_; }
+
+ private:
+  sim::SimTime min_rto_;
+  sim::SimTime max_rto_;
+  sim::SimTime srtt_ = 0;
+  sim::SimTime rttvar_ = 0;
+  bool has_sample_ = false;
+  int backoff_shift_ = 0;
+};
+
+}  // namespace mltcp::tcp

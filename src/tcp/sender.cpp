@@ -1,0 +1,246 @@
+#include "tcp/sender.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mltcp::tcp {
+
+TcpSender::TcpSender(sim::Simulator& simulator, net::Host& local,
+                     net::NodeId dst, net::FlowId flow,
+                     std::unique_ptr<CongestionControl> cc, SenderConfig cfg)
+    : sim_(simulator),
+      local_(local),
+      dst_(dst),
+      flow_(flow),
+      cc_(std::move(cc)),
+      cfg_(cfg),
+      rtt_(cfg.min_rto) {
+  assert(cc_ != nullptr);
+  assert(cfg_.mtu > net::kHeaderBytes);
+}
+
+TcpSender::~TcpSender() { cancel_rto(); }
+
+std::int64_t TcpSender::segments_for_bytes(std::int64_t bytes) const {
+  const std::int64_t payload = payload_per_segment();
+  return (bytes + payload - 1) / payload;
+}
+
+void TcpSender::send_message(std::int64_t bytes,
+                             CompletionCallback on_complete) {
+  assert(bytes > 0);
+  if (cfg_.slow_start_after_idle && idle() && last_activity_ >= 0 &&
+      sim_.now() - last_activity_ > rtt_.rto()) {
+    cc_->on_idle_restart(sim_.now());
+  }
+  send_limit_ += segments_for_bytes(bytes);
+  messages_.push_back(Message{send_limit_, std::move(on_complete)});
+  try_send();
+}
+
+std::int64_t TcpSender::usable_window() const {
+  const auto w = static_cast<std::int64_t>(cc_->cwnd());
+  return std::max<std::int64_t>(w, 1);
+}
+
+void TcpSender::try_send() {
+  if (!cfg_.pacing) {
+    int burst = cfg_.max_burst;
+    while (next_seq_ < send_limit_ && inflight() < usable_window() &&
+           burst-- > 0) {
+      send_segment(next_seq_, /*retransmission=*/false);
+      ++next_seq_;
+    }
+    if (inflight() > 0 && rto_event_ == sim::kInvalidEventId) arm_rto();
+    return;
+  }
+
+  // Paced release: one segment per cwnd/srtt interval. Until an RTT sample
+  // exists, fall back to ACK-clocked release (initial window only).
+  while (next_seq_ < send_limit_ && inflight() < usable_window()) {
+    if (rtt_.has_sample()) {
+      if (sim_.now() < next_pace_time_) {
+        if (pace_event_ == sim::kInvalidEventId ||
+            !sim_.pending(pace_event_)) {
+          pace_event_ = sim_.schedule(next_pace_time_ - sim_.now(), [this] {
+            pace_event_ = sim::kInvalidEventId;
+            try_send();
+          });
+        }
+        break;
+      }
+      const auto interval = static_cast<sim::SimTime>(
+          static_cast<double>(rtt_.srtt()) / std::max(cc_->cwnd(), 1.0));
+      next_pace_time_ = sim_.now() + interval;
+    }
+    send_segment(next_seq_, /*retransmission=*/false);
+    ++next_seq_;
+  }
+  if (inflight() > 0 && rto_event_ == sim::kInvalidEventId) arm_rto();
+}
+
+void TcpSender::send_segment(std::int64_t seq, bool retransmission) {
+  net::Packet pkt;
+  pkt.flow = flow_;
+  pkt.dst = dst_;
+  pkt.type = net::PacketType::kData;
+  pkt.seq = seq;
+  pkt.size_bytes = cfg_.mtu;
+  pkt.ecn_capable = cc_->wants_ecn();
+  pkt.tx_timestamp = sim_.now();
+  if (cfg_.pfabric_priority) {
+    // Remaining bytes of the flow's outstanding work, per pFabric.
+    pkt.priority = (send_limit_ - snd_una_) * cfg_.mtu;
+  }
+  ++stats_.data_packets_sent;
+  if (retransmission) ++stats_.retransmissions;
+  last_activity_ = sim_.now();
+  local_.send(pkt);
+}
+
+void TcpSender::on_packet(const net::Packet& pkt) {
+  if (pkt.type != net::PacketType::kAck) return;
+  if (cfg_.use_sack) absorb_sack(pkt);
+  if (pkt.seq > snd_una_) {
+    handle_new_ack(pkt);
+  } else if (pkt.seq == snd_una_ && inflight() > 0) {
+    handle_dup_ack();
+  }
+  try_send();
+}
+
+void TcpSender::absorb_sack(const net::Packet& pkt) {
+  for (const auto& block : pkt.sack) {
+    if (block.empty()) continue;
+    for (std::int64_t s = std::max(block.start, snd_una_);
+         s < std::min(block.end, next_seq_); ++s) {
+      sacked_.insert(s);
+    }
+  }
+}
+
+std::int64_t TcpSender::next_sack_hole() const {
+  if (sacked_.empty()) return -1;
+  const std::int64_t highest = *sacked_.rbegin();
+  for (std::int64_t s = snd_una_; s < highest; ++s) {
+    if (sacked_.count(s) == 0 && retransmitted_.count(s) == 0) return s;
+  }
+  return -1;
+}
+
+void TcpSender::retransmit_sack_holes(int budget) {
+  while (budget-- > 0) {
+    const std::int64_t hole = next_sack_hole();
+    if (hole < 0) return;
+    retransmitted_.insert(hole);
+    send_segment(hole, /*retransmission=*/true);
+  }
+}
+
+void TcpSender::handle_new_ack(const net::Packet& pkt) {
+  const auto num_acked = static_cast<int>(pkt.seq - snd_una_);
+  snd_una_ = pkt.seq;
+  stats_.segments_acked += num_acked;
+  rtt_.reset_backoff();
+
+  sim::SimTime rtt_sample = -1;
+  if (pkt.tx_timestamp > 0 && sim_.now() >= pkt.tx_timestamp) {
+    rtt_sample = sim_.now() - pkt.tx_timestamp;
+    rtt_.add_sample(rtt_sample);
+  }
+
+  AckContext ctx;
+  ctx.now = sim_.now();
+  ctx.num_acked = num_acked;
+  ctx.ack_seq = pkt.seq;
+  ctx.ece = pkt.ece;
+  ctx.rtt_sample = rtt_sample;
+
+  // Cumulatively acknowledged segments leave the scoreboard.
+  if (cfg_.use_sack) {
+    sacked_.erase(sacked_.begin(), sacked_.lower_bound(snd_una_));
+    retransmitted_.erase(retransmitted_.begin(),
+                         retransmitted_.lower_bound(snd_una_));
+  }
+
+  if (in_recovery_) {
+    if (snd_una_ >= recover_) {
+      in_recovery_ = false;
+      dup_acks_ = 0;
+      retransmitted_.clear();
+      cc_->on_ack(ctx);
+    } else if (cfg_.use_sack) {
+      // Partial ACK with SACK: the new front hole was either never sent or
+      // its retransmission was itself lost — make it eligible again, then
+      // plug the reported holes.
+      retransmitted_.erase(snd_una_);
+      retransmit_sack_holes(2);
+    } else {
+      // Partial ACK (NewReno): the next hole is lost too; retransmit it.
+      send_segment(snd_una_, /*retransmission=*/true);
+    }
+  } else {
+    dup_acks_ = 0;
+    cc_->on_ack(ctx);
+  }
+
+  // Fresh timer for the remaining in-flight data.
+  cancel_rto();
+  if (inflight() > 0) arm_rto();
+
+  complete_messages();
+}
+
+void TcpSender::handle_dup_ack() {
+  ++dup_acks_;
+  if (dup_acks_ == 3 && !in_recovery_) {
+    in_recovery_ = true;
+    recover_ = next_seq_;
+    ++stats_.fast_retransmits;
+    cc_->on_loss(sim_.now());
+    retransmitted_.insert(snd_una_);
+    send_segment(snd_una_, /*retransmission=*/true);
+    cancel_rto();
+    arm_rto();
+  } else if (in_recovery_ && cfg_.use_sack) {
+    // Every further dupACK refreshes the scoreboard; plug one hole.
+    retransmit_sack_holes(1);
+  }
+}
+
+void TcpSender::complete_messages() {
+  while (!messages_.empty() && snd_una_ >= messages_.front().end_seq) {
+    Message msg = std::move(messages_.front());
+    messages_.pop_front();
+    ++stats_.messages_completed;
+    if (msg.on_complete) msg.on_complete(sim_.now());
+  }
+}
+
+void TcpSender::arm_rto() {
+  rto_event_ = sim_.schedule(rtt_.rto(), [this] { on_rto(); });
+}
+
+void TcpSender::cancel_rto() {
+  if (rto_event_ != sim::kInvalidEventId) {
+    sim_.cancel(rto_event_);
+    rto_event_ = sim::kInvalidEventId;
+  }
+}
+
+void TcpSender::on_rto() {
+  rto_event_ = sim::kInvalidEventId;
+  if (inflight() <= 0) return;
+  ++stats_.timeouts;
+  cc_->on_timeout(sim_.now());
+  rtt_.backoff();
+  in_recovery_ = false;
+  dup_acks_ = 0;
+  retransmitted_.clear();
+  sacked_.clear();  // conservative: rebuild the scoreboard after an RTO
+  // Go-back-N: rewind and resend from the first unacknowledged segment.
+  next_seq_ = snd_una_;
+  try_send();
+}
+
+}  // namespace mltcp::tcp

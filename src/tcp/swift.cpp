@@ -1,0 +1,56 @@
+#include "tcp/swift.hpp"
+
+#include <algorithm>
+
+namespace mltcp::tcp {
+
+SwiftCC::SwiftCC(SwiftConfig cfg, std::shared_ptr<WindowGain> gain)
+    : CongestionControl(std::move(gain)), cfg_(cfg),
+      cwnd_(cfg.initial_cwnd) {}
+
+bool SwiftCC::can_decrease(sim::SimTime now) const {
+  // At most one multiplicative decrease per observed delay interval,
+  // approximated by the last delay sample.
+  return last_decrease_ < 0 || now - last_decrease_ >= last_delay_;
+}
+
+void SwiftCC::on_ack(const AckContext& ctx) {
+  gain_->on_ack(ctx);
+  if (ctx.num_acked <= 0) return;
+  if (ctx.rtt_sample > 0) last_delay_ = ctx.rtt_sample;
+
+  if (last_delay_ <= cfg_.target_delay || last_delay_ == 0) {
+    cwnd_ += gain_->gain() * static_cast<double>(ctx.num_acked) / cwnd_;
+    return;
+  }
+  if (can_decrease(ctx.now)) {
+    const double excess =
+        static_cast<double>(last_delay_ - cfg_.target_delay) /
+        static_cast<double>(last_delay_);
+    const double factor =
+        std::max(1.0 - cfg_.beta * excess, cfg_.max_decrease_factor);
+    cwnd_ = std::max(cwnd_ * factor, cfg_.min_cwnd);
+    last_decrease_ = ctx.now;
+  }
+}
+
+void SwiftCC::on_loss(sim::SimTime now) {
+  if (!can_decrease(now)) return;
+  cwnd_ = std::max(cwnd_ * cfg_.max_decrease_factor, cfg_.min_cwnd);
+  last_decrease_ = now;
+}
+
+void SwiftCC::on_timeout(sim::SimTime /*now*/) {
+  cwnd_ = std::max(1.0, cfg_.min_cwnd / 2.0);
+}
+
+void SwiftCC::on_idle_restart(sim::SimTime /*now*/) {
+  cwnd_ = cfg_.initial_cwnd;
+}
+
+std::string SwiftCC::name() const {
+  return gain_->name() == "unit" ? "swift"
+                                 : "mltcp-swift[" + gain_->name() + "]";
+}
+
+}  // namespace mltcp::tcp

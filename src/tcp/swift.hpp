@@ -1,0 +1,47 @@
+#pragma once
+
+#include "tcp/cong_control.hpp"
+
+namespace mltcp::tcp {
+
+struct SwiftConfig {
+  double initial_cwnd = 10.0;
+  double min_cwnd = 2.0;
+  /// End-to-end delay target; above it the window decreases.
+  sim::SimTime target_delay = sim::microseconds(300);
+  double beta = 0.8;                ///< Decrease scaling vs delay excess.
+  double max_decrease_factor = 0.5; ///< Per-RTT multiplicative-decrease cap.
+};
+
+/// Swift-style delay-based congestion control (Kumar et al., SIGCOMM'20),
+/// simplified: additive increase while the RTT sample is under the target
+/// delay, multiplicative decrease proportional to the delay excess (at most
+/// once per RTT). The additive increase is scaled by the WindowGain, giving
+/// MLTCP-Swift — the paper notes delay-based schemes can be augmented the
+/// same way as Reno (§6).
+class SwiftCC : public CongestionControl {
+ public:
+  explicit SwiftCC(SwiftConfig cfg = {},
+                   std::shared_ptr<WindowGain> gain = {});
+
+  void on_ack(const AckContext& ctx) override;
+  void on_loss(sim::SimTime now) override;
+  void on_timeout(sim::SimTime now) override;
+  void on_idle_restart(sim::SimTime now) override;
+
+  double cwnd() const override { return cwnd_; }
+  double ssthresh() const override { return cwnd_; }
+  std::string name() const override;
+
+  sim::SimTime last_delay() const { return last_delay_; }
+
+ private:
+  bool can_decrease(sim::SimTime now) const;
+
+  SwiftConfig cfg_;
+  double cwnd_;
+  sim::SimTime last_delay_ = 0;
+  sim::SimTime last_decrease_ = -1;
+};
+
+}  // namespace mltcp::tcp

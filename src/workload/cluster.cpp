@@ -1,0 +1,49 @@
+#include "workload/cluster.hpp"
+
+#include <cassert>
+
+namespace mltcp::workload {
+
+Cluster::Cluster(sim::Simulator& simulator, std::uint64_t seed)
+    : sim_(simulator), rng_(seed) {}
+
+Job* Cluster::add_job(const JobSpec& spec) {
+  assert(spec.cc != nullptr && "JobSpec.cc (congestion control) must be set");
+  assert(!spec.flows.empty());
+
+  std::vector<Job::FlowBinding> bindings;
+  std::vector<tcp::TcpFlow*> raw_flows;
+  bindings.reserve(spec.flows.size());
+  for (const FlowSpec& fs : spec.flows) {
+    assert(fs.src != nullptr && fs.dst != nullptr);
+    auto flow = std::make_unique<tcp::TcpFlow>(sim_, *fs.src, *fs.dst,
+                                               next_flow_id_++, spec.cc(),
+                                               spec.sender, spec.receiver);
+    bindings.push_back(Job::FlowBinding{flow.get(), fs.bytes_per_iteration});
+    raw_flows.push_back(flow.get());
+    flows_.push_back(std::move(flow));
+  }
+
+  JobConfig cfg;
+  cfg.name = spec.name;
+  cfg.compute_time = spec.compute_time;
+  cfg.noise_stddev_seconds = spec.noise_stddev_seconds;
+  cfg.start_time = spec.start_time;
+  cfg.max_iterations = spec.max_iterations;
+  cfg.gate_period = spec.gate_period;
+  cfg.comm_chunks = spec.comm_chunks;
+  cfg.chunk_gap = spec.chunk_gap;
+
+  auto job = std::make_unique<Job>(sim_, cfg, std::move(bindings),
+                                   rng_.fork());
+  Job* ptr = job.get();
+  jobs_.push_back(std::move(job));
+  flows_by_job_.push_back(std::move(raw_flows));
+  return ptr;
+}
+
+void Cluster::start_all() {
+  for (auto& job : jobs_) job->start();
+}
+
+}  // namespace mltcp::workload

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/cong_control.hpp"
+#include "tcp/flow.hpp"
+#include "workload/collective.hpp"
+#include "workload/job.hpp"
+
+namespace mltcp::workload {
+
+/// Everything needed to instantiate one job on the cluster.
+struct JobSpec {
+  std::string name;
+  std::vector<FlowSpec> flows;
+  sim::SimTime compute_time = 0;
+  double noise_stddev_seconds = 0.0;
+  sim::SimTime start_time = 0;
+  int max_iterations = 0;
+  /// See JobConfig::gate_period (centralized schedule enforcement).
+  sim::SimTime gate_period = 0;
+  /// See JobConfig::comm_chunks (pipeline/microbatched communication).
+  int comm_chunks = 1;
+  sim::SimTime chunk_gap = 0;
+  /// Congestion controller per flow. Must be set.
+  tcp::CcFactory cc;
+  tcp::SenderConfig sender;
+  tcp::ReceiverConfig receiver;
+};
+
+/// Owns the TCP flows and Job state machines of one experiment, allocating
+/// globally unique flow ids. The topology outlives the cluster.
+class Cluster {
+ public:
+  Cluster(sim::Simulator& simulator, std::uint64_t seed = 1);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Creates flows and the job state machine. The job is not started.
+  Job* add_job(const JobSpec& spec);
+
+  /// Starts every job added so far.
+  void start_all();
+
+  const std::vector<std::unique_ptr<Job>>& jobs() const { return jobs_; }
+  Job* job(std::size_t i) const { return jobs_.at(i).get(); }
+  std::size_t job_count() const { return jobs_.size(); }
+
+  /// Flows created for job `i`, in FlowSpec order.
+  const std::vector<tcp::TcpFlow*>& flows_of(std::size_t i) const {
+    return flows_by_job_.at(i);
+  }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  net::FlowId next_flow_id_ = 1;
+  std::vector<std::unique_ptr<tcp::TcpFlow>> flows_;
+  std::vector<std::vector<tcp::TcpFlow*>> flows_by_job_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+};
+
+}  // namespace mltcp::workload

@@ -1,0 +1,43 @@
+#include "workload/collective.hpp"
+
+#include <cassert>
+
+namespace mltcp::workload {
+
+std::vector<FlowSpec> ring_allreduce(const std::vector<net::Host*>& workers,
+                                     std::int64_t model_bytes) {
+  assert(workers.size() >= 2);
+  assert(model_bytes > 0);
+  const auto n = static_cast<std::int64_t>(workers.size());
+  const std::int64_t per_link_bytes = 2 * (n - 1) * model_bytes / n;
+  std::vector<FlowSpec> flows;
+  flows.reserve(workers.size());
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    flows.push_back(FlowSpec{workers[i], workers[(i + 1) % workers.size()],
+                             per_link_bytes});
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> parameter_server(const std::vector<net::Host*>& workers,
+                                       net::Host* server,
+                                       std::int64_t model_bytes) {
+  assert(server != nullptr);
+  assert(model_bytes > 0);
+  std::vector<FlowSpec> flows;
+  flows.reserve(workers.size());
+  for (net::Host* w : workers) {
+    assert(w != server);
+    flows.push_back(FlowSpec{w, server, model_bytes});
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> single_flow(net::Host* src, net::Host* dst,
+                                  std::int64_t bytes) {
+  assert(src != nullptr && dst != nullptr && src != dst);
+  assert(bytes > 0);
+  return {FlowSpec{src, dst, bytes}};
+}
+
+}  // namespace mltcp::workload

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node.hpp"
+
+namespace mltcp::workload {
+
+/// One point-to-point transfer a collective decomposes into.
+struct FlowSpec {
+  net::Host* src = nullptr;
+  net::Host* dst = nullptr;
+  std::int64_t bytes_per_iteration = 0;
+};
+
+/// Decomposes a data-parallel all-reduce over `workers` into the flows of a
+/// ring: worker i sends to worker (i+1) mod n. Each link of the ring carries
+/// 2*(n-1)/n * model_bytes per iteration (reduce-scatter + all-gather).
+std::vector<FlowSpec> ring_allreduce(const std::vector<net::Host*>& workers,
+                                     std::int64_t model_bytes);
+
+/// Parameter-server pattern: every worker exchanges `model_bytes` with the
+/// server per iteration; modelled as one worker->server flow per worker of
+/// `model_bytes` (the pull direction shares fate and is omitted).
+std::vector<FlowSpec> parameter_server(const std::vector<net::Host*>& workers,
+                                       net::Host* server,
+                                       std::int64_t model_bytes);
+
+/// The degenerate single-flow "collective" used by two-GPU jobs (the paper's
+/// testbed jobs use 2 GPUs on opposite sides of the bottleneck).
+std::vector<FlowSpec> single_flow(net::Host* src, net::Host* dst,
+                                  std::int64_t bytes);
+
+}  // namespace mltcp::workload

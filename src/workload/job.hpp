@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+
+namespace mltcp::workload {
+
+/// One training iteration as observed by the job: when its communication
+/// phase started/ended and when the following compute phase ended (== the
+/// start of the next iteration's communication).
+struct IterationRecord {
+  int index = 0;
+  sim::SimTime comm_start = 0;
+  sim::SimTime comm_end = 0;
+  sim::SimTime iter_end = 0;
+};
+
+struct JobConfig {
+  std::string name;
+  /// Compute-phase duration separating communication phases. The next
+  /// iteration's communication starts `compute_time` (plus noise) after the
+  /// previous communication completes — the dependency that distinguishes
+  /// DNN traffic from classical periodic traffic (§2).
+  sim::SimTime compute_time = 0;
+  /// Standard deviation of zero-mean Gaussian noise added to each compute
+  /// phase (§4's perturbation model). Negative draws are clamped at zero
+  /// total compute time.
+  double noise_stddev_seconds = 0.0;
+  /// When the first communication phase begins.
+  sim::SimTime start_time = 0;
+  /// Stop after this many iterations; 0 = run until the simulation ends.
+  int max_iterations = 0;
+  /// Centralized-schedule enforcement (Cassini-style): when > 0, iteration
+  /// k's communication phase is gated to start no earlier than
+  /// start_time + k * gate_period, pinning the job to its assigned slot on
+  /// the schedule circle. 0 disables gating (distributed operation).
+  sim::SimTime gate_period = 0;
+  /// Pipeline-parallel / microbatched communication: the iteration's bytes
+  /// are sent as `comm_chunks` back-to-back transfers separated by
+  /// `chunk_gap` of compute. 1 = the paper's single continuous phase (§4's
+  /// network-demand assumption); larger values exercise MLTCP beyond it.
+  int comm_chunks = 1;
+  sim::SimTime chunk_gap = 0;
+};
+
+/// A distributed DNN training/fine-tuning job: a strictly periodic
+/// alternation of a communication phase (a fixed number of bytes on each of
+/// its flows) and a compute phase, with the next communication gated on the
+/// completion of the previous one.
+class Job {
+ public:
+  struct FlowBinding {
+    tcp::TcpFlow* flow = nullptr;
+    std::int64_t bytes_per_iteration = 0;
+  };
+
+  Job(sim::Simulator& simulator, JobConfig cfg,
+      std::vector<FlowBinding> flows, sim::Rng rng);
+
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  /// Schedules the first communication phase at cfg.start_time.
+  void start();
+
+  const std::string& name() const { return cfg_.name; }
+  const JobConfig& config() const { return cfg_; }
+  const std::vector<FlowBinding>& flows() const { return flows_; }
+
+  /// Completed iterations (communication + compute both finished).
+  const std::vector<IterationRecord>& iterations() const { return records_; }
+  int completed_iterations() const {
+    return static_cast<int>(records_.size());
+  }
+
+  /// Iteration durations in seconds (start-of-comm to start-of-next-comm).
+  std::vector<double> iteration_times_seconds() const;
+
+  /// Communication-phase durations in seconds.
+  std::vector<double> comm_times_seconds() const;
+
+  /// Total bytes this job moves per iteration, summed over flows.
+  std::int64_t bytes_per_iteration() const;
+
+  bool running() const { return running_; }
+
+ private:
+  void begin_iteration();
+  void send_current_chunk();
+  void on_flow_complete(sim::SimTime when);
+  void on_compute_done();
+
+  sim::Simulator& sim_;
+  JobConfig cfg_;
+  std::vector<FlowBinding> flows_;
+  sim::Rng rng_;
+
+  bool running_ = false;
+  int current_iteration_ = 0;
+  int current_chunk_ = 0;
+  int flows_pending_ = 0;
+  sim::SimTime comm_start_ = 0;
+  sim::SimTime comm_end_ = 0;
+  std::vector<IterationRecord> records_;
+};
+
+}  // namespace mltcp::workload

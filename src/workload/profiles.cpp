@@ -1,0 +1,35 @@
+#include "workload/profiles.hpp"
+
+namespace mltcp::workload {
+
+ModelProfile gpt3_profile() {
+  return ModelProfile{"gpt3", sim::milliseconds(1200), 0.25};
+}
+
+ModelProfile gpt2_profile() {
+  return ModelProfile{"gpt2", sim::milliseconds(1800), 0.15};
+}
+
+ModelProfile bert_profile() {
+  return ModelProfile{"bert", sim::milliseconds(600), 0.20};
+}
+
+ModelProfile vgg_profile() {
+  return ModelProfile{"vgg", sim::milliseconds(900), 0.10};
+}
+
+sim::SimTime comm_time(const ModelProfile& p) {
+  return static_cast<sim::SimTime>(
+      static_cast<double>(p.ideal_iteration_time) * p.comm_fraction);
+}
+
+sim::SimTime compute_time(const ModelProfile& p) {
+  return p.ideal_iteration_time - comm_time(p);
+}
+
+std::int64_t comm_bytes(const ModelProfile& p, double link_rate_bps) {
+  return static_cast<std::int64_t>(sim::to_seconds(comm_time(p)) *
+                                   link_rate_bps / 8.0);
+}
+
+}  // namespace mltcp::workload

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace mltcp::workload {
+
+/// Coarse description of one DNN model's training traffic, following the
+/// §4 abstraction: an ideal (isolation) iteration time T and a communication
+/// fraction a, with constant full-rate network demand during the
+/// communication phase.
+struct ModelProfile {
+  std::string model_name;
+  /// Ideal iteration time T when the job runs alone.
+  sim::SimTime ideal_iteration_time = 0;
+  /// Fraction a of the iteration spent communicating (at full link rate).
+  double comm_fraction = 0.0;
+};
+
+/// GPT-3-like profile used for J1 in the paper's motivating experiment
+/// (Fig. 1a / Fig. 2): ideal iteration time 1.2 s. The communication
+/// fraction is calibrated to 0.25 so that the paper's four-job scenario
+/// admits a fully interleaved schedule under the constant-demand assumption
+/// of §4 (see DESIGN.md).
+ModelProfile gpt3_profile();
+
+/// GPT-2-like profile used for J2..J4 and the Figure 3/4/6 experiments:
+/// ideal iteration time 1.8 s, communication fraction 0.15 (six such jobs
+/// can still interleave: 6 x 0.15 < 1).
+ModelProfile gpt2_profile();
+
+/// BERT-like profile: shorter iterations, moderate communication share.
+ModelProfile bert_profile();
+
+/// VGG-like vision profile: compute heavy, light communication.
+ModelProfile vgg_profile();
+
+/// Communication-phase duration a*T of a profile.
+sim::SimTime comm_time(const ModelProfile& p);
+
+/// Compute-phase duration (1-a)*T of a profile.
+sim::SimTime compute_time(const ModelProfile& p);
+
+/// Bytes per iteration so that the communication phase lasts a*T at full
+/// link rate: bytes = a * T * rate / 8.
+std::int64_t comm_bytes(const ModelProfile& p, double link_rate_bps);
+
+}  // namespace mltcp::workload

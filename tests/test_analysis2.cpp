@@ -1,0 +1,181 @@
+// Tests for the flow monitor and the multi-job analysis extensions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/flow_monitor.hpp"
+#include "analysis/shift.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+#include "tcp/reno.hpp"
+
+namespace mltcp::analysis {
+namespace {
+
+// ------------------------------------------------------------ FlowMonitor
+
+struct MonitoredFlow {
+  sim::Simulator sim;
+  net::Dumbbell d;
+  std::unique_ptr<tcp::TcpFlow> flow;
+  std::unique_ptr<FlowMonitor> monitor;
+
+  MonitoredFlow() {
+    net::DumbbellConfig cfg;
+    cfg.hosts_per_side = 1;
+    d = net::make_dumbbell(sim, cfg);
+    flow = std::make_unique<tcp::TcpFlow>(sim, *d.left[0], *d.right[0], 1,
+                                          std::make_unique<tcp::RenoCC>());
+    monitor = std::make_unique<FlowMonitor>(sim, flow->sender(),
+                                            sim::milliseconds(1));
+  }
+};
+
+TEST(FlowMonitor, SamplesAtConfiguredInterval) {
+  MonitoredFlow m;
+  m.flow->send_message(1'000'000, [](sim::SimTime) {});
+  m.sim.run_until(sim::milliseconds(50));
+  // ~50 samples at 1 ms cadence (plus the t=0 sample).
+  EXPECT_GE(m.monitor->samples().size(), 45u);
+  EXPECT_LE(m.monitor->samples().size(), 55u);
+  for (std::size_t i = 1; i < m.monitor->samples().size(); ++i) {
+    EXPECT_EQ(m.monitor->samples()[i].when -
+                  m.monitor->samples()[i - 1].when,
+              sim::milliseconds(1));
+  }
+}
+
+TEST(FlowMonitor, ObservesSlowStartGrowth) {
+  MonitoredFlow m;
+  m.flow->send_message(5'000'000, [](sim::SimTime) {});
+  m.sim.run_until(sim::milliseconds(30));
+  const auto& samples = m.monitor->samples();
+  ASSERT_GE(samples.size(), 10u);
+  EXPECT_DOUBLE_EQ(samples.front().cwnd, 10.0);
+  EXPECT_GT(samples.back().cwnd, 20.0);
+}
+
+TEST(FlowMonitor, AckRateMatchesLinkRate) {
+  MonitoredFlow m;
+  m.flow->send_message(20'000'000, [](sim::SimTime) {});
+  m.sim.run_until(sim::milliseconds(150));
+  // Steady state: 1 Gbps / 1500 B wire = ~83.3k segments/s.
+  const double rate =
+      m.monitor->ack_rate(sim::milliseconds(50), sim::milliseconds(150));
+  EXPECT_NEAR(rate, 83'333.0, 8'000.0);
+}
+
+TEST(FlowMonitor, StopHaltsSampling) {
+  MonitoredFlow m;
+  m.flow->send_message(1'000'000, [](sim::SimTime) {});
+  m.sim.run_until(sim::milliseconds(5));
+  m.monitor->stop();
+  const auto n = m.monitor->samples().size();
+  m.sim.run_until(sim::milliseconds(50));
+  EXPECT_EQ(m.monitor->samples().size(), n);
+}
+
+TEST(FlowMonitor, MeanCwndWindowed) {
+  MonitoredFlow m;
+  m.flow->send_message(1'000'000, [](sim::SimTime) {});
+  m.sim.run_until(sim::milliseconds(20));
+  EXPECT_GT(m.monitor->mean_cwnd(0, sim::milliseconds(20)), 0.0);
+  EXPECT_DOUBLE_EQ(
+      m.monitor->mean_cwnd(sim::seconds(5), sim::seconds(6)), 0.0);
+}
+
+// ----------------------------------------------------------- multi-job
+
+ShiftParams params(double alpha = 0.2) {
+  ShiftParams p;
+  p.alpha = alpha;
+  p.period = 1.8;
+  return p;
+}
+
+bool pairwise_interleaved(const std::vector<double>& offsets,
+                          const ShiftParams& p, double slack = 1e-3) {
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    for (std::size_t j = 0; j < offsets.size(); ++j) {
+      if (i == j) continue;
+      double d = std::fmod(offsets[j] - offsets[i], p.period);
+      if (d < 0) d += p.period;
+      if (d < p.alpha * p.period - slack &&
+          d > slack) {  // inside the overlap band
+        return false;
+      }
+      if (d <= slack && i < j) return false;  // coincident starts
+    }
+  }
+  return true;
+}
+
+TEST(MultiJob, LossIsPairwiseSum) {
+  const ShiftParams p = params();
+  const std::vector<double> offsets = {0.0, 0.3, 1.0};
+  const double expected = loss(0.3, p) + loss(1.0, p) + loss(0.7, p);
+  EXPECT_NEAR(multi_job_loss(offsets, p), expected, 1e-9);
+}
+
+TEST(MultiJob, InterleavedConfigurationIsMinimal) {
+  const ShiftParams p = params(0.25);
+  const std::vector<double> spread = {0.0, 0.45, 0.9, 1.35};
+  const std::vector<double> clumped = {0.0, 0.05, 0.10, 0.15};
+  EXPECT_LT(multi_job_loss(spread, p), multi_job_loss(clumped, p));
+}
+
+TEST(MultiJob, StepConservesOffsetSum) {
+  const ShiftParams p = params();
+  const std::vector<double> offsets = {0.0, 0.1, 0.2, 0.9};
+  const auto next = multi_job_step(offsets, p);
+  double before = 0.0;
+  double after = 0.0;
+  for (double d : offsets) before += d;
+  for (double d : next) after += d;
+  // The extended shift is antisymmetric, so pairwise moves cancel; offsets
+  // may individually wrap around the circle, so compare modulo the period.
+  EXPECT_NEAR(std::remainder(before - after, p.period), 0.0, 1e-9);
+}
+
+TEST(MultiJob, DescentReachesInterleaving) {
+  const ShiftParams p = params();
+  const auto res =
+      multi_descend({0.0, 0.02, 0.04, 0.06}, p, 500, 1e-5);
+  ASSERT_TRUE(res.converged);
+  EXPECT_TRUE(pairwise_interleaved(res.trajectory.back(), p));
+}
+
+TEST(MultiJob, DescentLossTrendsDownward) {
+  // All jobs move simultaneously (a Jacobi-style update), so individual
+  // steps may overshoot slightly; the trend and the endpoint must still
+  // descend the landscape.
+  const ShiftParams p = params();
+  const auto res = multi_descend({0.0, 0.05, 0.40, 0.45}, p, 200, 1e-5);
+  const double first = multi_job_loss(res.trajectory.front(), p);
+  const double last = multi_job_loss(res.trajectory.back(), p);
+  EXPECT_LT(last, first);
+  double prev = first;
+  for (std::size_t k = 1; k < res.trajectory.size(); ++k) {
+    const double cur = multi_job_loss(res.trajectory[k], p);
+    EXPECT_LE(cur, prev + 0.02) << "large loss increase at iteration " << k;
+    prev = cur;
+  }
+}
+
+TEST(MultiJob, TwoJobCaseMatchesScalarDescent) {
+  ShiftParams p = params(0.5);
+  const auto multi = multi_descend({0.0, 0.2}, p, 300, 1e-6);
+  ASSERT_TRUE(multi.converged);
+  const auto& last = multi.trajectory.back();
+  double rel = std::fmod(last[1] - last[0], p.period);
+  if (rel < 0) rel += p.period;
+  // The scalar recursion moves only one job; the symmetric two-job system
+  // splits the same relative motion between both. Relative offsets agree.
+  EXPECT_NEAR(rel, p.period / 2.0, 0.02);
+}
+
+}  // namespace
+}  // namespace mltcp::analysis

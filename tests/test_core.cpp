@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/aggressiveness.hpp"
+#include "core/iteration_tracker.hpp"
+#include "core/mltcp.hpp"
+
+namespace mltcp::core {
+namespace {
+
+// --------------------------------------------------- aggressiveness checks
+
+TEST(Aggressiveness, PaperDefaultLinearValues) {
+  LinearAggressiveness f;  // 1.75 r + 0.25
+  EXPECT_DOUBLE_EQ(f(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(f(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 1.125);
+}
+
+TEST(Aggressiveness, CustomWrapsCallable) {
+  CustomAggressiveness f([](double r) { return r * r; }, "sq");
+  EXPECT_DOUBLE_EQ(f(0.5), 0.25);
+  EXPECT_EQ(f.name(), "sq");
+}
+
+/// §3.1 requirements over the six Figure-3 candidates: F1..F4 must pass the
+/// checker, F5 and F6 (decreasing) must fail requirement (ii).
+class Figure3Functions : public ::testing::TestWithParam<int> {};
+
+TEST_P(Figure3Functions, RangeMatchesPaper) {
+  const auto f = make_figure3_function(GetParam());
+  const auto check = check_aggressiveness(*f);
+  // "All these functions have the same range (0.25 - 2)".
+  EXPECT_NEAR(check.min_value, 0.25, 1e-9);
+  EXPECT_NEAR(check.max_value, 2.0, 1e-9);
+}
+
+TEST_P(Figure3Functions, MonotonicityMatchesPaper) {
+  const int i = GetParam();
+  const auto f = make_figure3_function(i);
+  const auto check = check_aggressiveness(*f);
+  if (i <= 4) {
+    EXPECT_TRUE(check.derivative_non_negative) << "F" << i;
+    EXPECT_TRUE(check.valid()) << "F" << i;
+  } else {
+    EXPECT_FALSE(check.derivative_non_negative) << "F" << i;
+    EXPECT_FALSE(check.valid()) << "F" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSix, Figure3Functions,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Aggressiveness, InvalidIndexThrows) {
+  EXPECT_THROW(make_figure3_function(0), std::invalid_argument);
+  EXPECT_THROW(make_figure3_function(7), std::invalid_argument);
+}
+
+TEST(Aggressiveness, CheckerFlagsNarrowRange) {
+  CustomAggressiveness flat([](double) { return 1.0; }, "flat");
+  const auto check = check_aggressiveness(flat);
+  EXPECT_TRUE(check.derivative_non_negative);
+  EXPECT_FALSE(check.valid()) << "flat function cannot absorb noise (req i)";
+}
+
+TEST(Aggressiveness, CheckerFlagsZeroCrossing) {
+  CustomAggressiveness neg([](double r) { return r - 0.5; }, "neg");
+  EXPECT_FALSE(check_aggressiveness(neg).valid())
+      << "negative values would shrink the window on ACKs";
+}
+
+// -------------------------------------------------------- IterationTracker
+
+TrackerConfig configured(std::int64_t total_bytes = 150'000,
+                         sim::SimTime comp_time = sim::milliseconds(100)) {
+  TrackerConfig cfg;
+  cfg.total_bytes = total_bytes;
+  cfg.comp_time = comp_time;
+  return cfg;
+}
+
+TEST(IterationTracker, AccumulatesBytesInMtuUnits) {
+  IterationTracker t(configured());
+  t.on_ack(2, sim::microseconds(100));
+  EXPECT_EQ(t.bytes_sent(), 2 * 1500);
+  t.on_ack(3, sim::microseconds(200));
+  EXPECT_EQ(t.bytes_sent(), 5 * 1500);
+}
+
+TEST(IterationTracker, BytesRatioFollowsAlgorithm1Line16) {
+  IterationTracker t(configured(150'000));
+  t.on_ack(10, sim::microseconds(100));  // 15,000 / 150,000
+  EXPECT_DOUBLE_EQ(t.bytes_ratio(), 0.1);
+  t.on_ack(40, sim::microseconds(200));
+  EXPECT_DOUBLE_EQ(t.bytes_ratio(), 0.5);
+}
+
+TEST(IterationTracker, BytesRatioClampedToOne) {
+  IterationTracker t(configured(15'000));
+  t.on_ack(100, sim::microseconds(100));
+  EXPECT_DOUBLE_EQ(t.bytes_ratio(), 1.0);
+}
+
+TEST(IterationTracker, GapTriggersBoundaryReset) {
+  IterationTracker t(configured(150'000, sim::milliseconds(10)));
+  t.on_ack(50, sim::milliseconds(1));
+  t.on_ack(50, sim::milliseconds(2));
+  EXPECT_EQ(t.iterations_seen(), 0);
+  EXPECT_GT(t.bytes_ratio(), 0.9);
+  // A gap above COMP_TIME marks the next iteration (Alg. 1 lines 10-13).
+  t.on_ack(1, sim::milliseconds(50));
+  EXPECT_EQ(t.iterations_seen(), 1);
+  EXPECT_DOUBLE_EQ(t.bytes_ratio(), 0.0);
+  EXPECT_EQ(t.bytes_sent(), 0);
+}
+
+TEST(IterationTracker, SubThresholdGapIsNotBoundary) {
+  IterationTracker t(configured(150'000, sim::milliseconds(10)));
+  t.on_ack(10, sim::milliseconds(1));
+  t.on_ack(10, sim::milliseconds(9));  // 8 ms < 10 ms threshold
+  EXPECT_EQ(t.iterations_seen(), 0);
+  EXPECT_EQ(t.bytes_sent(), 20 * 1500);
+}
+
+TEST(IterationTracker, FirstAckNeverBoundary) {
+  IterationTracker t(configured(150'000, sim::milliseconds(1)));
+  t.on_ack(10, sim::seconds(100));  // huge absolute time, no predecessor
+  EXPECT_EQ(t.iterations_seen(), 0);
+}
+
+TEST(IterationTracker, ZeroOrNegativeAcksIgnored) {
+  IterationTracker t(configured());
+  t.on_ack(0, sim::milliseconds(1));
+  t.on_ack(-3, sim::milliseconds(2));
+  EXPECT_EQ(t.bytes_sent(), 0);
+}
+
+TEST(IterationTracker, ConfiguredModeIsCalibratedImmediately) {
+  IterationTracker t(configured());
+  EXPECT_TRUE(t.calibrated());
+  EXPECT_EQ(t.total_bytes(), 150'000);
+}
+
+/// Feeds the tracker a synthetic training pattern: bursts of `acks_per_iter`
+/// ACKs 1 ms apart separated by `gap`.
+void feed_iterations(IterationTracker& t, int iterations, int acks_per_iter,
+                     sim::SimTime gap, sim::SimTime& now) {
+  for (int it = 0; it < iterations; ++it) {
+    for (int a = 0; a < acks_per_iter; ++a) {
+      now += sim::milliseconds(1);
+      t.on_ack(1, now);
+    }
+    now += gap;
+  }
+}
+
+TEST(IterationTracker, AutoLearnsTotalBytesAndCompTime) {
+  TrackerConfig cfg;  // total_bytes = comp_time = 0 -> learning mode
+  cfg.learn_iterations = 2;
+  cfg.learn_min_gap = sim::milliseconds(5);
+  IterationTracker t(cfg);
+  EXPECT_FALSE(t.calibrated());
+
+  sim::SimTime now = 0;
+  feed_iterations(t, 4, 100, sim::milliseconds(200), now);
+
+  EXPECT_TRUE(t.calibrated());
+  EXPECT_EQ(t.total_bytes(), 100 * 1500);
+  // Learned threshold = smallest observed gap * safety(0.5) ~ 100 ms.
+  EXPECT_NEAR(sim::to_milliseconds(t.comp_time()), 100.0, 5.0);
+}
+
+TEST(IterationTracker, LearningIgnoresPartialFirstBurst) {
+  TrackerConfig cfg;
+  cfg.learn_iterations = 2;
+  cfg.learn_min_gap = sim::milliseconds(5);
+  IterationTracker t(cfg);
+
+  sim::SimTime now = 0;
+  // Partial first burst (flow created mid-iteration): only 10 ACKs.
+  feed_iterations(t, 1, 10, sim::milliseconds(200), now);
+  feed_iterations(t, 3, 100, sim::milliseconds(200), now);
+  EXPECT_TRUE(t.calibrated());
+  EXPECT_EQ(t.total_bytes(), 100 * 1500);
+}
+
+TEST(IterationTracker, RatioIsZeroWhileLearning) {
+  TrackerConfig cfg;  // learning mode
+  IterationTracker t(cfg);
+  sim::SimTime now = 0;
+  feed_iterations(t, 1, 50, sim::milliseconds(0), now);
+  EXPECT_DOUBLE_EQ(t.bytes_ratio(), 0.0)
+      << "uncalibrated flows must stay at F(0) = Intercept";
+}
+
+TEST(IterationTracker, UsableAfterLearning) {
+  TrackerConfig cfg;
+  cfg.learn_iterations = 2;
+  cfg.learn_min_gap = sim::milliseconds(5);
+  IterationTracker t(cfg);
+  sim::SimTime now = 0;
+  feed_iterations(t, 4, 100, sim::milliseconds(200), now);
+  ASSERT_TRUE(t.calibrated());
+  // The first ACK after the gap triggers the boundary reset (Algorithm 1
+  // zeroes bytes_sent even for the triggering ACK); ratio rises from the
+  // next ACK on.
+  now += sim::milliseconds(1);
+  t.on_ack(1, now);
+  EXPECT_DOUBLE_EQ(t.bytes_ratio(), 0.0);
+  now += sim::milliseconds(1);
+  t.on_ack(50, now);
+  EXPECT_NEAR(t.bytes_ratio(), 0.5, 0.02);
+}
+
+// ------------------------------------------------------------- MltcpGain
+
+TEST(MltcpGain, GainIsInterceptAtIterationStart) {
+  MltcpGain gain(std::make_shared<LinearAggressiveness>(), configured());
+  EXPECT_DOUBLE_EQ(gain.gain(), 0.25);
+}
+
+TEST(MltcpGain, GainGrowsWithProgress) {
+  MltcpGain gain(std::make_shared<LinearAggressiveness>(),
+                 configured(150'000));
+  tcp::AckContext ctx;
+  ctx.num_acked = 50;
+  ctx.now = sim::milliseconds(1);
+  gain.on_ack(ctx);  // 75,000 / 150,000 = 0.5
+  EXPECT_DOUBLE_EQ(gain.gain(), 1.75 * 0.5 + 0.25);
+}
+
+TEST(MltcpGain, ResetsAtBoundary) {
+  MltcpGain gain(std::make_shared<LinearAggressiveness>(),
+                 configured(150'000, sim::milliseconds(10)));
+  tcp::AckContext ctx;
+  ctx.num_acked = 100;
+  ctx.now = sim::milliseconds(1);
+  gain.on_ack(ctx);
+  EXPECT_DOUBLE_EQ(gain.gain(), 2.0);
+  ctx.num_acked = 1;
+  ctx.now = sim::milliseconds(100);
+  gain.on_ack(ctx);
+  EXPECT_DOUBLE_EQ(gain.gain(), 0.25);
+}
+
+// -------------------------------------------------------------- factories
+
+TEST(Factories, MltcpRenoNameAndIndependentTrackers) {
+  MltcpConfig cfg;
+  cfg.tracker = configured();
+  auto factory = mltcp_reno_factory(cfg);
+  auto cc1 = factory();
+  auto cc2 = factory();
+  EXPECT_NE(cc1.get(), cc2.get());
+  EXPECT_EQ(cc1->name(), "mltcp-reno[linear(1.75,0.25)]");
+
+  // Trackers are per-flow: advancing one must not affect the other.
+  tcp::AckContext ctx;
+  ctx.num_acked = 50;
+  ctx.now = sim::milliseconds(1);
+  cc1->window_gain().on_ack(ctx);
+  EXPECT_GT(cc1->window_gain().gain(), cc2->window_gain().gain());
+}
+
+TEST(Factories, SharedAggressivenessFunctionAcrossFlows) {
+  // §3.1 requirement (iii): all flows employ the same F.
+  MltcpConfig cfg;
+  cfg.tracker = configured();
+  auto f = std::shared_ptr<const AggressivenessFunction>(
+      make_figure3_function(2).release());
+  auto factory = mltcp_reno_factory(cfg, f);
+  auto cc = factory();
+  EXPECT_NE(cc->name().find("F2"), std::string::npos);
+}
+
+TEST(Factories, DctcpVariantsWantEcn) {
+  MltcpConfig cfg;
+  cfg.tracker = configured();
+  EXPECT_TRUE(make_mltcp_dctcp(cfg)->wants_ecn());
+  EXPECT_FALSE(make_mltcp_reno(cfg)->wants_ecn());
+  EXPECT_FALSE(make_mltcp_cubic(cfg)->wants_ecn());
+}
+
+TEST(Factories, PlainBaselinesHaveUnitGain) {
+  EXPECT_DOUBLE_EQ(reno_factory()()->window_gain().gain(), 1.0);
+  EXPECT_DOUBLE_EQ(cubic_factory()()->window_gain().gain(), 1.0);
+  EXPECT_DOUBLE_EQ(dctcp_factory()()->window_gain().gain(), 1.0);
+}
+
+TEST(Factories, LinearFunctionFromConfig) {
+  MltcpConfig cfg;
+  cfg.slope = 3.0;
+  cfg.intercept = 0.5;
+  auto f = make_linear_function(cfg);
+  EXPECT_DOUBLE_EQ((*f)(1.0), 3.5);
+}
+
+}  // namespace
+}  // namespace mltcp::core

@@ -1,0 +1,251 @@
+// Cross-module integration tests: MLTCP end-to-end on the packet-level
+// simulator. The link is scaled to 200 Mbps (bytes scale with it, so
+// iteration times keep the paper's 1.8 s scale while packet counts stay
+// test-friendly).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "core/mltcp.hpp"
+#include "net/topology.hpp"
+#include "sched/centralized.hpp"
+#include "sched/pfabric.hpp"
+#include "sim/simulator.hpp"
+#include "workload/cluster.hpp"
+#include "workload/collective.hpp"
+#include "workload/profiles.hpp"
+
+namespace mltcp {
+namespace {
+
+constexpr double kRate = 200e6;  // scaled bottleneck
+
+struct Testbed {
+  sim::Simulator sim;
+  net::Dumbbell d;
+  std::unique_ptr<workload::Cluster> cluster;
+
+  explicit Testbed(int hosts = 6, net::QueueFactory bottleneck = nullptr) {
+    net::DumbbellConfig cfg;
+    cfg.hosts_per_side = hosts;
+    cfg.bottleneck_rate_bps = kRate;
+    cfg.host_rate_bps = 1e9;
+    cfg.bottleneck_queue = std::move(bottleneck);
+    d = net::make_dumbbell(sim, cfg);
+    cluster = std::make_unique<workload::Cluster>(sim);
+  }
+
+  workload::Job* add_gpt2_job(int host, const tcp::CcFactory& cc, int iters,
+                              double noise = 0.0, int flows = 2) {
+    const workload::ModelProfile gpt2 = workload::gpt2_profile();
+    workload::JobSpec spec;
+    spec.name = "gpt2-" + std::to_string(host);
+    const std::int64_t total = workload::comm_bytes(gpt2, kRate);
+    for (int f = 0; f < flows; ++f) {
+      spec.flows.push_back(
+          workload::FlowSpec{d.left[host], d.right[host], total / flows});
+    }
+    spec.compute_time = workload::compute_time(gpt2);
+    spec.noise_stddev_seconds = noise;
+    spec.max_iterations = iters;
+    spec.cc = cc;
+    return cluster->add_job(spec);
+  }
+};
+
+core::MltcpConfig gpt2_mltcp_config(int flows = 2) {
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+  core::MltcpConfig cfg;
+  cfg.tracker.total_bytes = workload::comm_bytes(gpt2, kRate) / flows;
+  cfg.tracker.comp_time = workload::compute_time(gpt2) / 2;
+  return cfg;
+}
+
+double ideal_gpt2_seconds() {
+  return sim::to_seconds(workload::gpt2_profile().ideal_iteration_time);
+}
+
+// ---------------------------------------------------------- convergence
+
+TEST(Integration, ThreeMltcpJobsConvergeToIdeal) {
+  Testbed tb;
+  std::vector<workload::Job*> jobs;
+  const auto cc = core::mltcp_reno_factory(gpt2_mltcp_config());
+  for (int i = 0; i < 3; ++i) jobs.push_back(tb.add_gpt2_job(i, cc, 40));
+  tb.cluster->start_all();
+  tb.sim.run_until(sim::seconds(150));
+
+  for (workload::Job* job : jobs) {
+    ASSERT_EQ(job->completed_iterations(), 40);
+    EXPECT_LT(analysis::tail_mean(job->iteration_times_seconds(), 8),
+              ideal_gpt2_seconds() * 1.08)
+        << job->name();
+  }
+}
+
+TEST(Integration, ConvergedStateHasNoCommOverlap) {
+  Testbed tb;
+  std::vector<workload::Job*> jobs;
+  const auto cc = core::mltcp_reno_factory(gpt2_mltcp_config());
+  for (int i = 0; i < 3; ++i) jobs.push_back(tb.add_gpt2_job(i, cc, 40));
+  tb.cluster->start_all();
+  tb.sim.run_until(sim::seconds(150));
+
+  sim::SimTime end = 0;
+  for (const workload::Job* job : jobs) {
+    end = std::max(end, job->iterations().back().comm_end);
+  }
+  std::vector<const workload::Job*> cjobs(jobs.begin(), jobs.end());
+  EXPECT_LT(analysis::comm_overlap_seconds(cjobs, end - sim::seconds(15),
+                                           end),
+            0.15);
+}
+
+TEST(Integration, MltcpBeatsRenoUnderContention) {
+  auto run = [](const tcp::CcFactory& cc) {
+    Testbed tb;
+    std::vector<workload::Job*> jobs;
+    for (int i = 0; i < 4; ++i) {
+      jobs.push_back(tb.add_gpt2_job(i, cc, 30, 0.005));
+    }
+    tb.cluster->start_all();
+    tb.sim.run_until(sim::seconds(120));
+    std::vector<double> tails;
+    for (workload::Job* job : jobs) {
+      tails.push_back(
+          analysis::tail_mean(job->iteration_times_seconds(), 8));
+    }
+    return analysis::mean(tails);
+  };
+  const double reno = run(core::reno_factory());
+  const double mltcp = run(core::mltcp_reno_factory(gpt2_mltcp_config()));
+  EXPECT_LT(mltcp, reno) << "MLTCP must outperform plain Reno";
+  EXPECT_LT(mltcp, ideal_gpt2_seconds() * 1.10);
+}
+
+TEST(Integration, AutoLearnedTrackerAlsoConverges) {
+  Testbed tb;
+  core::MltcpConfig cfg;  // learning mode
+  cfg.tracker.learn_min_gap = sim::milliseconds(20);
+  const auto cc = core::mltcp_reno_factory(cfg);
+  std::vector<workload::Job*> jobs;
+  for (int i = 0; i < 3; ++i) jobs.push_back(tb.add_gpt2_job(i, cc, 45));
+  tb.cluster->start_all();
+  tb.sim.run_until(sim::seconds(170));
+  for (workload::Job* job : jobs) {
+    EXPECT_LT(analysis::tail_mean(job->iteration_times_seconds(), 8),
+              ideal_gpt2_seconds() * 1.10)
+        << job->name();
+  }
+}
+
+TEST(Integration, MltcpDctcpConvergesWithEcn) {
+  Testbed tb(6, net::make_ecn_factory(256 * 1500, 15 * 1500));
+  const auto cc = core::mltcp_dctcp_factory(gpt2_mltcp_config());
+  std::vector<workload::Job*> jobs;
+  for (int i = 0; i < 3; ++i) jobs.push_back(tb.add_gpt2_job(i, cc, 40));
+  tb.cluster->start_all();
+  tb.sim.run_until(sim::seconds(150));
+  for (workload::Job* job : jobs) {
+    EXPECT_LT(analysis::tail_mean(job->iteration_times_seconds(), 8),
+              ideal_gpt2_seconds() * 1.10)
+        << job->name();
+  }
+}
+
+// -------------------------------------------------- centralized baseline
+
+TEST(Integration, GatedCentralizedScheduleAchievesIdeal) {
+  Testbed tb;
+  // Two identical GPT-2 jobs: offsets 0 and T/2 with per-iteration gating.
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+  std::vector<workload::Job*> jobs;
+  for (int i = 0; i < 2; ++i) {
+    workload::JobSpec spec;
+    spec.name = "gated-" + std::to_string(i);
+    spec.flows = workload::single_flow(tb.d.left[i], tb.d.right[i],
+                                       workload::comm_bytes(gpt2, kRate));
+    spec.compute_time = workload::compute_time(gpt2);
+    spec.max_iterations = 15;
+    // Guarded period: natural period plus headroom for the ACK tail.
+    spec.gate_period = gpt2.ideal_iteration_time + sim::milliseconds(30);
+    spec.start_time = i * spec.gate_period / 2;
+    spec.cc = core::reno_factory();
+    jobs.push_back(tb.cluster->add_job(spec));
+  }
+  tb.cluster->start_all();
+  tb.sim.run_until(sim::seconds(60));
+
+  std::vector<const workload::Job*> cjobs(jobs.begin(), jobs.end());
+  EXPECT_LT(analysis::comm_overlap_seconds(cjobs, 0, tb.sim.now()), 0.05);
+}
+
+// ------------------------------------------------------------- pFabric
+
+TEST(Integration, PfabricPrioritizesShortFlow) {
+  Testbed tb(2, net::make_pfabric_factory(36 * 1500));
+  tcp::SenderConfig scfg;
+  scfg.pfabric_priority = true;
+  tcp::TcpFlow big(tb.sim, *tb.d.left[0], *tb.d.right[0], 101,
+                   std::make_unique<sched::PfabricCC>(), scfg);
+  tcp::TcpFlow small(tb.sim, *tb.d.left[1], *tb.d.right[1], 102,
+                     std::make_unique<sched::PfabricCC>(), scfg);
+
+  sim::SimTime big_done = -1, small_done = -1;
+  big.send_message(20'000'000, [&](sim::SimTime t) { big_done = t; });
+  small.send_message(1'000'000, [&](sim::SimTime t) { small_done = t; });
+  tb.sim.run_until(sim::seconds(20));
+  ASSERT_GT(big_done, 0);
+  ASSERT_GT(small_done, 0);
+  // SRPT: the 1 MB flow must finish close to its isolated time (~41 ms at
+  // 200 Mbps), far ahead of the 20 MB flow.
+  EXPECT_LT(sim::to_seconds(small_done), 0.08);
+  EXPECT_GT(big_done, 10 * small_done);
+}
+
+// ----------------------------------------------- determinism & stability
+
+TEST(Integration, RunsAreDeterministic) {
+  auto run = [] {
+    Testbed tb;
+    std::vector<workload::Job*> jobs;
+    const auto cc = core::mltcp_reno_factory(gpt2_mltcp_config());
+    for (int i = 0; i < 2; ++i) {
+      jobs.push_back(tb.add_gpt2_job(i, cc, 10, 0.01));
+    }
+    tb.cluster->start_all();
+    tb.sim.run_until(sim::seconds(40));
+    std::vector<double> all;
+    for (workload::Job* job : jobs) {
+      for (double t : job->iteration_times_seconds()) all.push_back(t);
+    }
+    return all;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Integration, InterleavingStableAcrossManyIterations) {
+  // §2: "the interleaving remains stable in subsequent iterations".
+  Testbed tb;
+  const auto cc = core::mltcp_reno_factory(gpt2_mltcp_config());
+  std::vector<workload::Job*> jobs;
+  for (int i = 0; i < 2; ++i) jobs.push_back(tb.add_gpt2_job(i, cc, 60));
+  tb.cluster->start_all();
+  tb.sim.run_until(sim::seconds(200));
+  for (workload::Job* job : jobs) {
+    const auto times = job->iteration_times_seconds();
+    ASSERT_EQ(times.size(), 60u);
+    // Every iteration in the second half stays at the ideal.
+    for (std::size_t i = 30; i < times.size(); ++i) {
+      EXPECT_LT(times[i], ideal_gpt2_seconds() * 1.05)
+          << job->name() << " iteration " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mltcp

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "net/queue.hpp"
+
+namespace mltcp::net {
+namespace {
+
+Packet flow_packet(FlowId flow, std::int32_t size = 1500, bool ecn = false) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.flow = flow;
+  p.size_bytes = size;
+  p.ecn_capable = ecn;
+  return p;
+}
+
+// -------------------------------------------------------------------- DRR
+
+TEST(DrrQueue, SingleFlowBehavesFifo) {
+  DrrQueue q(100 * 1500);
+  for (int i = 0; i < 3; ++i) {
+    Packet p = flow_packet(1);
+    p.seq = i;
+    ASSERT_TRUE(q.enqueue(p, 0));
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(q.dequeue(0)->seq, i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DrrQueue, InterleavesBackloggedFlows) {
+  DrrQueue q(100 * 1500, 1500);
+  for (int i = 0; i < 4; ++i) q.enqueue(flow_packet(1), 0);
+  for (int i = 0; i < 4; ++i) q.enqueue(flow_packet(2), 0);
+  int flow1_in_first_half = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (q.dequeue(0)->flow == 1) ++flow1_in_first_half;
+  }
+  // Round-robin service: the first half of departures is split evenly.
+  EXPECT_EQ(flow1_in_first_half, 2);
+}
+
+TEST(DrrQueue, ByteFairWithUnequalPacketSizes) {
+  // Flow 1 sends 300 B packets, flow 2 sends 1500 B packets. DRR must give
+  // both roughly the same bytes, i.e. serve ~5 small per 1 big.
+  DrrQueue q(1000 * 1500, 1500);
+  for (int i = 0; i < 100; ++i) q.enqueue(flow_packet(1, 300), 0);
+  for (int i = 0; i < 20; ++i) q.enqueue(flow_packet(2, 1500), 0);
+  std::int64_t bytes1 = 0;
+  std::int64_t bytes2 = 0;
+  for (int i = 0; i < 60; ++i) {
+    const auto p = q.dequeue(0);
+    ASSERT_TRUE(p.has_value());
+    (p->flow == 1 ? bytes1 : bytes2) += p->size_bytes;
+  }
+  EXPECT_NEAR(static_cast<double>(bytes1) / static_cast<double>(bytes2), 1.0,
+              0.25);
+}
+
+TEST(DrrQueue, DropsWhenFull) {
+  DrrQueue q(2 * 1500);
+  EXPECT_TRUE(q.enqueue(flow_packet(1), 0));
+  EXPECT_TRUE(q.enqueue(flow_packet(2), 0));
+  EXPECT_FALSE(q.enqueue(flow_packet(3), 0));
+  EXPECT_EQ(q.stats().dropped_packets, 1);
+}
+
+TEST(DrrQueue, TracksActiveFlows) {
+  DrrQueue q(100 * 1500);
+  q.enqueue(flow_packet(1), 0);
+  q.enqueue(flow_packet(2), 0);
+  EXPECT_EQ(q.active_flows(), 2u);
+  q.dequeue(0);
+  q.dequeue(0);
+  EXPECT_EQ(q.active_flows(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+// -------------------------------------------------------------------- RED
+
+RedQueue::Config red_config() {
+  RedQueue::Config cfg;
+  cfg.capacity_bytes = 100 * 1500;
+  cfg.min_threshold_bytes = 10 * 1500;
+  cfg.max_threshold_bytes = 40 * 1500;
+  cfg.max_probability = 0.5;
+  cfg.ewma_weight = 1.0;  // track the instantaneous queue in tests
+  return cfg;
+}
+
+TEST(RedQueue, NoEarlyDropBelowMinThreshold) {
+  RedQueue q(red_config());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(q.enqueue(flow_packet(1), 0)) << i;
+  }
+  EXPECT_EQ(q.stats().dropped_packets, 0);
+}
+
+TEST(RedQueue, DropsRampBetweenThresholds) {
+  RedQueue q(red_config());
+  int dropped = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (!q.enqueue(flow_packet(1), 0)) ++dropped;
+  }
+  EXPECT_GT(dropped, 0);
+  EXPECT_LT(dropped, 35);
+}
+
+TEST(RedQueue, MarksInsteadOfDroppingWhenConfigured) {
+  RedQueue::Config cfg = red_config();
+  cfg.mark_instead_of_drop = true;
+  RedQueue q(cfg);
+  for (int i = 0; i < 40; ++i) q.enqueue(flow_packet(1, 1500, true), 0);
+  EXPECT_GT(q.stats().marked_packets, 0);
+  EXPECT_EQ(q.stats().dropped_packets, 0);
+  // The marks must be visible on dequeued packets.
+  int marked = 0;
+  while (auto p = q.dequeue(0)) {
+    if (p->ce) ++marked;
+  }
+  EXPECT_EQ(marked, q.stats().marked_packets);
+}
+
+TEST(RedQueue, NonEcnPacketsAreDroppedNotMarked) {
+  RedQueue::Config cfg = red_config();
+  cfg.mark_instead_of_drop = true;
+  RedQueue q(cfg);
+  int dropped = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (!q.enqueue(flow_packet(1, 1500, false), 0)) ++dropped;
+  }
+  EXPECT_GT(dropped, 0);
+  EXPECT_EQ(q.stats().marked_packets, 0);
+}
+
+TEST(RedQueue, HardCapacityStillEnforced) {
+  RedQueue::Config cfg = red_config();
+  cfg.min_threshold_bytes = 90 * 1500;
+  cfg.max_threshold_bytes = 99 * 1500;
+  RedQueue q(cfg);
+  int admitted = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (q.enqueue(flow_packet(1), 0)) ++admitted;
+  }
+  EXPECT_LE(admitted, 100);
+}
+
+TEST(RedQueue, FactoryProducesIndependentQueues) {
+  auto factory = make_red_factory(red_config());
+  auto q1 = factory();
+  auto q2 = factory();
+  q1->enqueue(flow_packet(1), 0);
+  EXPECT_EQ(q2->backlog_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace mltcp::net

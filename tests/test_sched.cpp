@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "sched/centralized.hpp"
+#include "sched/pfabric.hpp"
+
+namespace mltcp::sched {
+namespace {
+
+PeriodicDemand demand(double period_s, double comm_s,
+                      const std::string& name = "j") {
+  return PeriodicDemand{name, sim::from_seconds(period_s),
+                        sim::from_seconds(comm_s)};
+}
+
+// ------------------------------------------------------------- hyperperiod
+
+TEST(Hyperperiod, LcmOfCommensuratePeriods) {
+  const auto h = hyperperiod_of({demand(1.2, 0.1), demand(1.8, 0.1)});
+  EXPECT_EQ(h, sim::from_seconds(3.6));
+}
+
+TEST(Hyperperiod, SinglePeriodIsItself) {
+  EXPECT_EQ(hyperperiod_of({demand(1.8, 0.2)}), sim::from_seconds(1.8));
+}
+
+TEST(Hyperperiod, SaturatesForIncommensurate) {
+  // Coprime nanosecond counts would explode; the cap bounds the horizon.
+  const auto h =
+      hyperperiod_of({demand(1.000000001, 0.1), demand(1.3, 0.1)}, 16);
+  EXPECT_LE(h, 16 * sim::from_seconds(1.3));
+}
+
+// ---------------------------------------------------------- excess metric
+
+TEST(EvaluateExcess, DisjointIntervalsZero) {
+  const std::vector<PeriodicDemand> jobs = {demand(10, 4), demand(10, 4)};
+  EXPECT_EQ(evaluate_excess(jobs, {0, sim::from_seconds(4)},
+                            sim::from_seconds(10)),
+            0);
+}
+
+TEST(EvaluateExcess, FullyAlignedIsCommTime) {
+  const std::vector<PeriodicDemand> jobs = {demand(10, 4), demand(10, 4)};
+  EXPECT_EQ(evaluate_excess(jobs, {0, 0}, sim::from_seconds(10)),
+            sim::from_seconds(4));
+}
+
+TEST(EvaluateExcess, PartialOverlapMeasured) {
+  const std::vector<PeriodicDemand> jobs = {demand(10, 4), demand(10, 4)};
+  // [0,4) and [2,6): overlap 2 s.
+  EXPECT_EQ(evaluate_excess(jobs, {0, sim::from_seconds(2)},
+                            sim::from_seconds(10)),
+            sim::from_seconds(2));
+}
+
+TEST(EvaluateExcess, WrapAroundInterval) {
+  const std::vector<PeriodicDemand> jobs = {demand(10, 4), demand(10, 4)};
+  // [8,10)+[0,2) wraps; [0,4) overlaps it on [0,2): 2 s.
+  EXPECT_EQ(evaluate_excess(jobs, {0, sim::from_seconds(8)},
+                            sim::from_seconds(10)),
+            sim::from_seconds(2));
+}
+
+TEST(EvaluateExcess, ThreeWayOverlapCountsDouble) {
+  const std::vector<PeriodicDemand> jobs = {demand(10, 4), demand(10, 4),
+                                            demand(10, 4)};
+  // Three aligned intervals: excess = 2 * 4 s.
+  EXPECT_EQ(evaluate_excess(jobs, {0, 0, 0}, sim::from_seconds(10)),
+            sim::from_seconds(8));
+}
+
+TEST(EvaluateExcess, MixedPeriodsOnHyperperiod) {
+  // J1 (T=2, c=1) at offset 0 occupies [0,1),[2,3); J2 (T=4, c=1) at offset
+  // 1 occupies [1,2): no overlap.
+  const std::vector<PeriodicDemand> jobs = {demand(2, 1), demand(4, 1)};
+  EXPECT_EQ(evaluate_excess(jobs, {0, sim::from_seconds(1)},
+                            sim::from_seconds(4)),
+            0);
+  // At offset 0, J2 collides with one J1 comm per hyperperiod.
+  EXPECT_EQ(evaluate_excess(jobs, {0, 0}, sim::from_seconds(4)),
+            sim::from_seconds(1));
+}
+
+// --------------------------------------------------------------- optimizer
+
+TEST(Optimizer, TwoIdenticalJobsInterleave) {
+  const std::vector<PeriodicDemand> jobs = {demand(1.8, 0.8),
+                                            demand(1.8, 0.8)};
+  const Schedule s = optimize_interleaving(jobs);
+  EXPECT_EQ(s.excess, 0);
+  EXPECT_TRUE(is_interleavable(jobs));
+}
+
+TEST(Optimizer, SixJobsAtNinetyPercentUtilization) {
+  std::vector<PeriodicDemand> jobs;
+  for (int i = 0; i < 6; ++i) jobs.push_back(demand(1.8, 0.27));
+  const Schedule s = optimize_interleaving(jobs);
+  EXPECT_EQ(s.excess, 0);
+}
+
+TEST(Optimizer, PaperFigure2ScenarioInterleavable) {
+  // 1 GPT-3-like (T=1.2, c=0.3) + 3 GPT-2-like (T=1.8, c=0.27).
+  std::vector<PeriodicDemand> jobs = {demand(1.2, 0.3, "gpt3")};
+  for (int i = 0; i < 3; ++i) jobs.push_back(demand(1.8, 0.27, "gpt2"));
+  const Schedule s = optimize_interleaving(jobs);
+  EXPECT_EQ(s.excess, 0);
+  EXPECT_EQ(s.hyperperiod, sim::from_seconds(3.6));
+}
+
+TEST(Optimizer, OverloadedScenarioHasResidualExcess) {
+  // Three jobs each communicating half their period: utilization 1.5.
+  std::vector<PeriodicDemand> jobs = {demand(2, 1), demand(2, 1),
+                                      demand(2, 1)};
+  const Schedule s = optimize_interleaving(jobs);
+  EXPECT_GT(s.excess, 0);
+  EXPECT_FALSE(is_interleavable(jobs));
+  // Best possible: total comm 3 s per 2 s circle -> excess >= 1 s.
+  EXPECT_GE(s.excess, sim::from_seconds(1));
+}
+
+TEST(Optimizer, ScheduleOffsetsVerifiable) {
+  std::vector<PeriodicDemand> jobs = {demand(1.2, 0.3), demand(1.8, 0.27),
+                                      demand(1.8, 0.27), demand(1.8, 0.27)};
+  const Schedule s = optimize_interleaving(jobs);
+  // The returned offsets must reproduce the reported excess.
+  EXPECT_EQ(evaluate_excess(jobs, s.offsets, s.hyperperiod), s.excess);
+}
+
+TEST(Optimizer, ZeroCommJobsAreFree) {
+  std::vector<PeriodicDemand> jobs = {demand(1.0, 0.0), demand(1.0, 0.9)};
+  EXPECT_TRUE(is_interleavable(jobs));
+}
+
+// -------------------------------------------------------------- harmonize
+
+TEST(Harmonize, NoPadWhenAlreadyCommensurate) {
+  std::vector<JobTiming> jobs = {
+      {sim::from_seconds(1.2), sim::from_seconds(0.3),
+       sim::from_seconds(0.9)},
+      {sim::from_seconds(1.8), sim::from_seconds(0.27),
+       sim::from_seconds(1.53)}};
+  const auto pads = harmonize_compute_pads(jobs);
+  EXPECT_EQ(pads[0], 0);
+  EXPECT_EQ(pads[1], 0);
+}
+
+TEST(Harmonize, PadsRestoreNominalRatio) {
+  // Job 0 naturally runs 1% long; job 1 exactly nominal.
+  std::vector<JobTiming> jobs = {
+      {sim::from_seconds(1.2), sim::from_seconds(0.312),
+       sim::from_seconds(0.9)},
+      {sim::from_seconds(1.8), sim::from_seconds(0.27),
+       sim::from_seconds(1.53)}};
+  const auto pads = harmonize_compute_pads(jobs);
+  EXPECT_EQ(pads[0], 0) << "the slowest job sets lambda and gets no pad";
+  // Job 1's padded period must be exactly 1.5x job 0's natural period.
+  const sim::SimTime p0 = jobs[0].wire_comm + jobs[0].compute + pads[0];
+  const sim::SimTime p1 = jobs[1].wire_comm + jobs[1].compute + pads[1];
+  EXPECT_NEAR(static_cast<double>(p1) / static_cast<double>(p0), 1.5, 1e-6);
+}
+
+TEST(Harmonize, AllPadsNonNegative) {
+  std::vector<JobTiming> jobs = {
+      {sim::from_seconds(1.0), sim::from_seconds(0.4),
+       sim::from_seconds(0.7)},
+      {sim::from_seconds(2.0), sim::from_seconds(0.3),
+       sim::from_seconds(1.6)},
+      {sim::from_seconds(0.5), sim::from_seconds(0.1),
+       sim::from_seconds(0.45)}};
+  for (const auto pad : harmonize_compute_pads(jobs)) EXPECT_GE(pad, 0);
+}
+
+// ----------------------------------------------------------------- pfabric
+
+TEST(PfabricCC, WindowIsConstant) {
+  PfabricCC cc(PfabricConfig{48.0});
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 48.0);
+  tcp::AckContext ctx;
+  ctx.num_acked = 10;
+  cc.on_ack(ctx);
+  cc.on_loss(0);
+  cc.on_timeout(0);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 48.0);
+  EXPECT_EQ(cc.name(), "pfabric");
+}
+
+}  // namespace
+}  // namespace mltcp::sched

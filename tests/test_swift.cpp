@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tcp/swift.hpp"
+
+namespace mltcp::tcp {
+namespace {
+
+class FixedGain : public WindowGain {
+ public:
+  explicit FixedGain(double g) : g_(g) {}
+  double gain() const override { return g_; }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double g_;
+};
+
+AckContext delayed_ack(sim::SimTime rtt, sim::SimTime now, int num = 1) {
+  AckContext ctx;
+  ctx.now = now;
+  ctx.num_acked = num;
+  ctx.rtt_sample = rtt;
+  return ctx;
+}
+
+SwiftConfig config() {
+  SwiftConfig cfg;
+  cfg.initial_cwnd = 10.0;
+  cfg.target_delay = sim::microseconds(300);
+  return cfg;
+}
+
+TEST(SwiftCC, IncreasesBelowTargetDelay) {
+  SwiftCC cc(config());
+  cc.on_ack(delayed_ack(sim::microseconds(100), sim::milliseconds(1)));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.1);
+}
+
+TEST(SwiftCC, DecreasesAboveTargetDelay) {
+  SwiftCC cc(config());
+  cc.on_ack(delayed_ack(sim::microseconds(600), sim::milliseconds(1)));
+  // excess = (600-300)/600 = 0.5; factor = max(1 - 0.8*0.5, 0.5) = 0.6.
+  EXPECT_NEAR(cc.cwnd(), 6.0, 1e-9);
+}
+
+TEST(SwiftCC, DecreaseCappedPerSample) {
+  SwiftConfig cfg = config();
+  cfg.max_decrease_factor = 0.5;
+  SwiftCC cc(cfg);
+  cc.on_ack(delayed_ack(sim::milliseconds(100), sim::milliseconds(1)));
+  EXPECT_GE(cc.cwnd(), 5.0 - 1e-9);
+}
+
+TEST(SwiftCC, AtMostOneDecreasePerRtt) {
+  SwiftCC cc(config());
+  const sim::SimTime rtt = sim::microseconds(600);
+  cc.on_ack(delayed_ack(rtt, sim::microseconds(700)));
+  const double after_first = cc.cwnd();
+  // Immediately-following congested ACK inside the same RTT: no decrease.
+  cc.on_ack(delayed_ack(rtt, sim::microseconds(750)));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), after_first);
+  // After an RTT has elapsed the next decrease applies.
+  cc.on_ack(delayed_ack(rtt, sim::microseconds(1400)));
+  EXPECT_LT(cc.cwnd(), after_first);
+}
+
+TEST(SwiftCC, GainScalesAdditiveIncrease) {
+  SwiftCC plain(config());
+  SwiftCC scaled(config(), std::make_shared<FixedGain>(2.0));
+  plain.on_ack(delayed_ack(sim::microseconds(100), 1, 5));
+  scaled.on_ack(delayed_ack(sim::microseconds(100), 1, 5));
+  EXPECT_DOUBLE_EQ(plain.cwnd(), 10.5);
+  EXPECT_DOUBLE_EQ(scaled.cwnd(), 11.0);
+}
+
+TEST(SwiftCC, WindowFloor) {
+  SwiftCC cc(config());
+  for (int i = 1; i < 50; ++i) {
+    cc.on_ack(delayed_ack(sim::milliseconds(50), sim::milliseconds(100 * i)));
+  }
+  EXPECT_GE(cc.cwnd(), 2.0);
+}
+
+TEST(SwiftCC, IdleRestartResetsWindow) {
+  SwiftCC cc(config());
+  for (int i = 1; i < 100; ++i) {
+    cc.on_ack(delayed_ack(sim::microseconds(100), sim::microseconds(50 * i)));
+  }
+  EXPECT_GT(cc.cwnd(), 10.0);
+  cc.on_idle_restart(sim::seconds(1));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.0);
+}
+
+TEST(SwiftCC, NameReflectsGain) {
+  EXPECT_EQ(SwiftCC().name(), "swift");
+  SwiftCC scaled(SwiftConfig{}, std::make_shared<FixedGain>(2.0));
+  EXPECT_EQ(scaled.name(), "mltcp-swift[fixed]");
+}
+
+TEST(SwiftCC, LossDecreasesWindow) {
+  SwiftCC cc(config());
+  cc.on_loss(sim::milliseconds(1));
+  EXPECT_NEAR(cc.cwnd(), 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mltcp::tcp

@@ -1,0 +1,467 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/cubic.hpp"
+#include "tcp/dctcp.hpp"
+#include "tcp/flow.hpp"
+#include "tcp/reno.hpp"
+#include "tcp/rtt_estimator.hpp"
+
+namespace mltcp::tcp {
+namespace {
+
+AckContext ack(int num_acked, std::int64_t ack_seq = 0, bool ece = false,
+               sim::SimTime now = 0) {
+  AckContext ctx;
+  ctx.now = now;
+  ctx.num_acked = num_acked;
+  ctx.ack_seq = ack_seq;
+  ctx.ece = ece;
+  return ctx;
+}
+
+/// Fixed-gain hook, used to verify Eq. 1's scaling in isolation.
+class FixedGain : public WindowGain {
+ public:
+  explicit FixedGain(double g) : g_(g) {}
+  double gain() const override { return g_; }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double g_;
+};
+
+// ----------------------------------------------------------- RttEstimator
+
+TEST(RttEstimator, FirstSampleInitializes) {
+  RttEstimator est(sim::milliseconds(1));
+  EXPECT_FALSE(est.has_sample());
+  est.add_sample(sim::milliseconds(10));
+  EXPECT_TRUE(est.has_sample());
+  EXPECT_EQ(est.srtt(), sim::milliseconds(10));
+  EXPECT_EQ(est.rttvar(), sim::milliseconds(5));
+  // RTO = srtt + 4 * rttvar = 30 ms.
+  EXPECT_EQ(est.rto(), sim::milliseconds(30));
+}
+
+TEST(RttEstimator, SmoothsTowardSamples) {
+  RttEstimator est;
+  est.add_sample(sim::milliseconds(10));
+  for (int i = 0; i < 100; ++i) est.add_sample(sim::milliseconds(20));
+  EXPECT_NEAR(sim::to_milliseconds(est.srtt()), 20.0, 0.5);
+}
+
+TEST(RttEstimator, RespectsMinimumRto) {
+  RttEstimator est(sim::milliseconds(5));
+  est.add_sample(sim::microseconds(50));
+  EXPECT_GE(est.rto(), sim::milliseconds(5));
+}
+
+TEST(RttEstimator, BackoffDoublesAndResets) {
+  RttEstimator est(sim::milliseconds(1));
+  est.add_sample(sim::milliseconds(2));
+  const sim::SimTime base = est.rto();
+  est.backoff();
+  EXPECT_EQ(est.rto(), 2 * base);
+  est.backoff();
+  EXPECT_EQ(est.rto(), 4 * base);
+  est.reset_backoff();
+  EXPECT_EQ(est.rto(), base);
+}
+
+TEST(RttEstimator, DefaultRtoBeforeSamples) {
+  RttEstimator est(sim::milliseconds(1));
+  EXPECT_EQ(est.rto(), sim::seconds(1));
+}
+
+TEST(RttEstimator, NegativeSampleIgnored) {
+  RttEstimator est;
+  est.add_sample(-5);
+  EXPECT_FALSE(est.has_sample());
+}
+
+// -------------------------------------------------------------------- Reno
+
+TEST(RenoCC, SlowStartGrowsByAckedSegments) {
+  RenoConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  cfg.initial_ssthresh = 100.0;
+  RenoCC cc(cfg);
+  EXPECT_TRUE(cc.in_slow_start());
+  cc.on_ack(ack(2));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 4.0);
+  cc.on_ack(ack(4));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 8.0);
+}
+
+TEST(RenoCC, SlowStartCapsAtSsthresh) {
+  RenoConfig cfg;
+  cfg.initial_cwnd = 8.0;
+  cfg.initial_ssthresh = 10.0;
+  RenoCC cc(cfg);
+  cc.on_ack(ack(8));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.0);
+  EXPECT_FALSE(cc.in_slow_start());
+}
+
+TEST(RenoCC, CongestionAvoidanceAdditiveIncrease) {
+  RenoConfig cfg;
+  cfg.initial_cwnd = 10.0;
+  cfg.initial_ssthresh = 5.0;  // start in CA
+  RenoCC cc(cfg);
+  cc.on_ack(ack(1));
+  // cwnd += 1/cwnd.
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.1);
+}
+
+TEST(RenoCC, Equation1GainScalesIncrease) {
+  // Eq. 1: cwnd += F(bytes_ratio) * num_acks / cwnd.
+  RenoConfig cfg;
+  cfg.initial_cwnd = 10.0;
+  cfg.initial_ssthresh = 5.0;
+  RenoCC plain(cfg);
+  RenoCC scaled(cfg, std::make_shared<FixedGain>(2.0));
+  plain.on_ack(ack(5));
+  scaled.on_ack(ack(5));
+  EXPECT_DOUBLE_EQ(plain.cwnd(), 10.5);
+  EXPECT_DOUBLE_EQ(scaled.cwnd(), 11.0);
+}
+
+TEST(RenoCC, GainDoesNotAffectSlowStart) {
+  RenoConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  cfg.initial_ssthresh = 100.0;
+  RenoCC scaled(cfg, std::make_shared<FixedGain>(2.0));
+  scaled.on_ack(ack(2));
+  EXPECT_DOUBLE_EQ(scaled.cwnd(), 4.0);  // not 6
+}
+
+TEST(RenoCC, LossHalvesWindow) {
+  RenoConfig cfg;
+  cfg.initial_cwnd = 20.0;
+  cfg.initial_ssthresh = 5.0;
+  RenoCC cc(cfg);
+  cc.on_loss(0);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.0);
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), 10.0);
+}
+
+TEST(RenoCC, TimeoutResetsToOne) {
+  RenoConfig cfg;
+  cfg.initial_cwnd = 20.0;
+  cfg.initial_ssthresh = 5.0;
+  RenoCC cc(cfg);
+  cc.on_timeout(0);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 1.0);
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), 10.0);
+}
+
+TEST(RenoCC, MinimumWindowFloor) {
+  RenoConfig cfg;
+  cfg.initial_cwnd = 2.0;
+  cfg.initial_ssthresh = 1.0;
+  RenoCC cc(cfg);
+  cc.on_loss(0);
+  EXPECT_GE(cc.cwnd(), cfg.min_cwnd);
+}
+
+TEST(RenoCC, IdleRestartResetsWindowKeepsSsthresh) {
+  RenoConfig cfg;
+  cfg.initial_cwnd = 10.0;
+  cfg.initial_ssthresh = 1e9;
+  RenoCC cc(cfg);
+  for (int i = 0; i < 100; ++i) cc.on_ack(ack(10));
+  cc.on_loss(0);
+  const double ssthresh = cc.ssthresh();
+  cc.on_idle_restart(0);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.0);
+  EXPECT_DOUBLE_EQ(cc.ssthresh(), ssthresh);
+}
+
+TEST(RenoCC, NameReflectsGain) {
+  EXPECT_EQ(RenoCC().name(), "reno");
+  RenoCC scaled(RenoConfig{}, std::make_shared<FixedGain>(2.0));
+  EXPECT_EQ(scaled.name(), "mltcp-reno[fixed]");
+}
+
+// ------------------------------------------------------------------- CUBIC
+
+TEST(CubicCC, SlowStartThenCubicGrowth) {
+  CubicConfig cfg;
+  cfg.initial_cwnd = 10.0;
+  cfg.initial_ssthresh = 5.0;
+  CubicCC cc(cfg);
+  const double before = cc.cwnd();
+  AckContext ctx = ack(1, 0, false, sim::milliseconds(10));
+  ctx.rtt_sample = sim::microseconds(100);
+  cc.on_ack(ctx);
+  EXPECT_GT(cc.cwnd(), before);
+}
+
+TEST(CubicCC, LossAppliesBetaDecrease) {
+  CubicConfig cfg;
+  cfg.initial_cwnd = 100.0;
+  cfg.initial_ssthresh = 5.0;
+  CubicCC cc(cfg);
+  cc.on_loss(sim::milliseconds(1));
+  EXPECT_NEAR(cc.cwnd(), 70.0, 1e-9);
+  EXPECT_NEAR(cc.w_max(), 100.0, 1e-9);
+}
+
+TEST(CubicCC, RecoversTowardWmax) {
+  CubicConfig cfg;
+  cfg.initial_cwnd = 100.0;
+  cfg.initial_ssthresh = 5.0;
+  CubicCC cc(cfg);
+  cc.on_loss(0);
+  // Feed ACKs over simulated time; the window must approach w_max again.
+  sim::SimTime now = 0;
+  for (int i = 0; i < 20000 && cc.cwnd() < 90.0; ++i) {
+    now += sim::microseconds(100);
+    AckContext ctx = ack(1, i, false, now);
+    ctx.rtt_sample = sim::microseconds(100);
+    cc.on_ack(ctx);
+  }
+  // The cubic curve is asymptotically flat near w_max; reaching 90% of the
+  // pre-loss window demonstrates the concave recovery region.
+  EXPECT_GE(cc.cwnd(), 90.0);
+}
+
+TEST(CubicCC, GainAcceleratesRecovery) {
+  CubicConfig cfg;
+  cfg.initial_cwnd = 100.0;
+  cfg.initial_ssthresh = 5.0;
+  CubicCC slow(cfg);
+  CubicCC fast(cfg, std::make_shared<FixedGain>(2.0));
+  slow.on_loss(0);
+  fast.on_loss(0);
+  sim::SimTime now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now += sim::microseconds(100);
+    AckContext ctx = ack(1, i, false, now);
+    ctx.rtt_sample = sim::microseconds(100);
+    slow.on_ack(ctx);
+    fast.on_ack(ctx);
+  }
+  EXPECT_GT(fast.cwnd(), slow.cwnd());
+}
+
+TEST(CubicCC, TimeoutResetsToOne) {
+  CubicCC cc;
+  cc.on_timeout(0);
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 1.0);
+}
+
+// ------------------------------------------------------------------- DCTCP
+
+TEST(DctcpCC, WantsEcn) {
+  DctcpCC cc;
+  EXPECT_TRUE(cc.wants_ecn());
+  EXPECT_FALSE(RenoCC().wants_ecn());
+}
+
+TEST(DctcpCC, AlphaRisesWithMarksAndDecaysWithout) {
+  DctcpConfig cfg;
+  cfg.initial_cwnd = 10.0;
+  cfg.initial_ssthresh = 5.0;
+  DctcpCC cc(cfg);
+  EXPECT_DOUBLE_EQ(cc.alpha(), 0.0);
+  // A fully-marked window pushes alpha up.
+  std::int64_t seq = 0;
+  for (int w = 0; w < 10; ++w) {
+    for (int i = 0; i < 12; ++i) cc.on_ack(ack(1, ++seq, true));
+  }
+  EXPECT_GT(cc.alpha(), 0.3);
+  const double high = cc.alpha();
+  for (int w = 0; w < 10; ++w) {
+    for (int i = 0; i < 50; ++i) cc.on_ack(ack(1, ++seq, false));
+  }
+  EXPECT_LT(cc.alpha(), high);
+}
+
+TEST(DctcpCC, MarkedWindowCutsProportionally) {
+  DctcpConfig cfg;
+  cfg.initial_cwnd = 100.0;
+  cfg.initial_ssthresh = 5.0;
+  cfg.g = 1.0;  // alpha tracks the instantaneous marked fraction
+  DctcpCC cc(cfg);
+  // First window: all marked -> alpha = 1 -> cwnd *= (1 - 1/2).
+  std::int64_t seq = 0;
+  double before = cc.cwnd();
+  for (int i = 0; i < 110; ++i) cc.on_ack(ack(1, ++seq, true));
+  EXPECT_LT(cc.cwnd(), before * 0.6);
+}
+
+TEST(DctcpCC, UnmarkedTrafficGrowsLikeReno) {
+  DctcpConfig cfg;
+  cfg.initial_cwnd = 10.0;
+  cfg.initial_ssthresh = 5.0;
+  DctcpCC cc(cfg);
+  cc.on_ack(ack(1, 1, false));
+  EXPECT_DOUBLE_EQ(cc.cwnd(), 10.1);
+}
+
+// --------------------------------------------------------- end-to-end TCP
+
+struct Pipe {
+  sim::Simulator sim;
+  net::Dumbbell d;
+  std::unique_ptr<TcpFlow> flow;
+
+  explicit Pipe(std::unique_ptr<CongestionControl> cc,
+                net::QueueFactory bottleneck_queue = nullptr,
+                SenderConfig scfg = {}, ReceiverConfig rcfg = {}) {
+    net::DumbbellConfig cfg;
+    cfg.hosts_per_side = 1;
+    cfg.bottleneck_queue = std::move(bottleneck_queue);
+    d = net::make_dumbbell(sim, cfg);
+    flow = std::make_unique<TcpFlow>(sim, *d.left[0], *d.right[0], 1,
+                                     std::move(cc), scfg, rcfg);
+  }
+};
+
+TEST(TcpEndToEnd, TransfersExactByteCount) {
+  Pipe pipe(std::make_unique<RenoCC>());
+  sim::SimTime done = -1;
+  pipe.flow->send_message(1'000'000, [&](sim::SimTime t) { done = t; });
+  pipe.sim.run();
+  EXPECT_GT(done, 0);
+  const std::int64_t segments = pipe.flow->sender().segments_for_bytes(1'000'000);
+  EXPECT_EQ(pipe.flow->receiver().rcv_next(), segments);
+  EXPECT_EQ(pipe.flow->sender().stats().messages_completed, 1);
+  EXPECT_TRUE(pipe.flow->sender().idle());
+}
+
+TEST(TcpEndToEnd, CompletionTimeNearSerialization) {
+  Pipe pipe(std::make_unique<RenoCC>());
+  sim::SimTime done = -1;
+  // 10 MB at 1 Gbps bottleneck: >= 685 segments * wire bytes.
+  pipe.flow->send_message(10'000'000, [&](sim::SimTime t) { done = t; });
+  pipe.sim.run();
+  const double seconds = sim::to_seconds(done);
+  EXPECT_GT(seconds, 0.082);  // pure wire time ~0.0822s
+  EXPECT_LT(seconds, 0.12);   // slow start + ack tail overhead bounded
+}
+
+TEST(TcpEndToEnd, RecoversFromRandomLoss) {
+  Pipe pipe(std::make_unique<RenoCC>(),
+            net::make_random_drop_factory(0.01, 512 * 1500, 7));
+  sim::SimTime done = -1;
+  pipe.flow->send_message(2'000'000, [&](sim::SimTime t) { done = t; });
+  pipe.sim.run_until(sim::seconds(30));
+  EXPECT_GT(done, 0) << "transfer never completed under 1% loss";
+  EXPECT_GT(pipe.flow->sender().stats().retransmissions, 0);
+  const std::int64_t segments =
+      pipe.flow->sender().segments_for_bytes(2'000'000);
+  EXPECT_EQ(pipe.flow->receiver().rcv_next(), segments);
+}
+
+TEST(TcpEndToEnd, SurvivesHeavyLoss) {
+  Pipe pipe(std::make_unique<RenoCC>(),
+            net::make_random_drop_factory(0.08, 512 * 1500, 11));
+  sim::SimTime done = -1;
+  pipe.flow->send_message(300'000, [&](sim::SimTime t) { done = t; });
+  pipe.sim.run_until(sim::seconds(60));
+  EXPECT_GT(done, 0) << "transfer never completed under 8% loss";
+}
+
+TEST(TcpEndToEnd, FastRetransmitPreferredOverTimeout) {
+  Pipe pipe(std::make_unique<RenoCC>(),
+            net::make_random_drop_factory(0.002, 512 * 1500, 3));
+  sim::SimTime done = -1;
+  pipe.flow->send_message(5'000'000, [&](sim::SimTime t) { done = t; });
+  pipe.sim.run_until(sim::seconds(30));
+  ASSERT_GT(done, 0);
+  const auto& stats = pipe.flow->sender().stats();
+  EXPECT_GT(stats.fast_retransmits, 0);
+  // With mild loss and plenty of dupacks, most recoveries avoid the RTO.
+  EXPECT_LT(stats.timeouts, stats.fast_retransmits);
+}
+
+TEST(TcpEndToEnd, MessagesCompleteInFifoOrder) {
+  Pipe pipe(std::make_unique<RenoCC>());
+  std::vector<int> order;
+  pipe.flow->send_message(100'000, [&](sim::SimTime) { order.push_back(1); });
+  pipe.flow->send_message(100'000, [&](sim::SimTime) { order.push_back(2); });
+  pipe.flow->send_message(100'000, [&](sim::SimTime) { order.push_back(3); });
+  pipe.sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TcpEndToEnd, DelayedAcksHalveAckCount) {
+  Pipe per_packet(std::make_unique<RenoCC>());
+  ReceiverConfig rcfg;
+  rcfg.ack_every = 2;
+  Pipe delayed(std::make_unique<RenoCC>(), nullptr, SenderConfig{}, rcfg);
+
+  sim::SimTime d1 = -1, d2 = -1;
+  // Small enough that slow start never overflows the bottleneck queue:
+  // the comparison is then loss-free and purely about ACK batching.
+  per_packet.flow->send_message(300'000, [&](sim::SimTime t) { d1 = t; });
+  delayed.flow->send_message(300'000, [&](sim::SimTime t) { d2 = t; });
+  per_packet.sim.run();
+  delayed.sim.run();
+  ASSERT_GT(d1, 0);
+  ASSERT_GT(d2, 0);
+  EXPECT_EQ(per_packet.flow->sender().stats().retransmissions, 0);
+  EXPECT_LT(delayed.flow->receiver().acks_sent(),
+            per_packet.flow->receiver().acks_sent() * 6 / 10);
+}
+
+TEST(TcpEndToEnd, EcnPathMarksInsteadOfDropping) {
+  Pipe pipe(std::make_unique<DctcpCC>(),
+            net::make_ecn_factory(256 * 1500, 20 * 1500));
+  sim::SimTime done = -1;
+  pipe.flow->send_message(10'000'000, [&](sim::SimTime t) { done = t; });
+  pipe.sim.run_until(sim::seconds(10));
+  ASSERT_GT(done, 0);
+  auto* dctcp = dynamic_cast<DctcpCC*>(&pipe.flow->sender().cc());
+  ASSERT_NE(dctcp, nullptr);
+  // Long single flow through a marking queue: alpha learned > 0, no loss.
+  EXPECT_GT(dctcp->alpha(), 0.0);
+  EXPECT_EQ(pipe.flow->sender().stats().retransmissions, 0);
+}
+
+TEST(TcpEndToEnd, TwoRenoFlowsShareFairly) {
+  sim::Simulator sim;
+  net::DumbbellConfig cfg;
+  cfg.hosts_per_side = 2;
+  auto d = net::make_dumbbell(sim, cfg);
+  TcpFlow f1(sim, *d.left[0], *d.right[0], 1, std::make_unique<RenoCC>());
+  TcpFlow f2(sim, *d.left[1], *d.right[1], 2, std::make_unique<RenoCC>());
+  sim::SimTime done1 = -1, done2 = -1;
+  f1.send_message(20'000'000, [&](sim::SimTime t) { done1 = t; });
+  f2.send_message(20'000'000, [&](sim::SimTime t) { done2 = t; });
+  sim.run_until(sim::seconds(10));
+  ASSERT_GT(done1, 0);
+  ASSERT_GT(done2, 0);
+  // Both ~40 MB over a 1 Gbps link: ~0.33 s each under fair sharing;
+  // completion times must be within 25% of each other.
+  const double ratio = sim::to_seconds(done1) / sim::to_seconds(done2);
+  EXPECT_GT(ratio, 0.75);
+  EXPECT_LT(ratio, 1.33);
+}
+
+TEST(TcpEndToEnd, PfabricPriorityStampsRemainingBytes) {
+  SenderConfig scfg;
+  scfg.pfabric_priority = true;
+  Pipe pipe(std::make_unique<RenoCC>(), nullptr, scfg);
+  std::vector<std::int64_t> priorities;
+  pipe.d.bottleneck->add_tx_observer(
+      [&](const net::Packet& p, sim::SimTime) {
+        if (p.type == net::PacketType::kData) priorities.push_back(p.priority);
+      });
+  pipe.flow->send_message(1'000'000, [](sim::SimTime) {});
+  pipe.sim.run();
+  ASSERT_GT(priorities.size(), 10u);
+  EXPECT_GT(priorities.front(), priorities.back());
+  EXPECT_EQ(priorities.front(),
+            pipe.flow->sender().segments_for_bytes(1'000'000) * 1500);
+}
+
+}  // namespace
+}  // namespace mltcp::tcp

@@ -1,0 +1,252 @@
+// Behavioural end-to-end checks of the transport: classic properties each
+// congestion controller is known for, observed on the simulated dumbbell.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/metrics.hpp"
+#include "core/mltcp.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/flow.hpp"
+#include "workload/cluster.hpp"
+#include "workload/collective.hpp"
+#include "workload/profiles.hpp"
+#include "sched/pfabric.hpp"
+
+namespace mltcp {
+namespace {
+
+struct LongFlowOutcome {
+  double seconds = -1.0;
+  std::int64_t max_backlog_bytes = 0;
+  tcp::SenderStats stats;
+};
+
+LongFlowOutcome run_long_flow(std::unique_ptr<tcp::CongestionControl> cc,
+                              net::QueueFactory bottleneck_queue = nullptr) {
+  sim::Simulator sim;
+  net::DumbbellConfig dc;
+  dc.hosts_per_side = 1;
+  dc.bottleneck_queue = std::move(bottleneck_queue);
+  auto d = net::make_dumbbell(sim, dc);
+  tcp::TcpFlow flow(sim, *d.left[0], *d.right[0], 1, std::move(cc));
+  sim::SimTime done = -1;
+  flow.send_message(30'000'000, [&](sim::SimTime t) { done = t; });
+  sim.run_until(sim::seconds(10));
+  LongFlowOutcome out;
+  out.seconds = done > 0 ? sim::to_seconds(done) : -1.0;
+  out.max_backlog_bytes = d.bottleneck->queue().stats().max_backlog_bytes;
+  out.stats = flow.sender().stats();
+  return out;
+}
+
+TEST(TcpBehavior, RenoFillsTheBufferDctcpKeepsItShallow) {
+  // Classic DCTCP claim: ECN marking holds the queue near the threshold
+  // while Reno drives it to (or beyond) capacity.
+  const auto reno = run_long_flow(std::make_unique<tcp::RenoCC>());
+  const auto dctcp = run_long_flow(std::make_unique<tcp::DctcpCC>(),
+                                   net::make_ecn_factory(250'000, 30'000));
+  ASSERT_GT(reno.seconds, 0);
+  ASSERT_GT(dctcp.seconds, 0);
+  EXPECT_GT(reno.max_backlog_bytes, 200'000);
+  // Slow start overshoots the mark threshold once before alpha is learned;
+  // afterwards the queue sits near 30 KB. The bound captures "well below
+  // Reno's full buffer" rather than the steady state alone.
+  EXPECT_LT(dctcp.max_backlog_bytes, 150'000);
+  EXPECT_EQ(dctcp.stats.retransmissions, 0)
+      << "marking should prevent loss entirely on a single flow";
+}
+
+TEST(TcpBehavior, RenoSawtoothsUnderDropTail) {
+  const auto reno = run_long_flow(std::make_unique<tcp::RenoCC>());
+  ASSERT_GT(reno.seconds, 0);
+  EXPECT_GT(reno.stats.fast_retransmits, 0)
+      << "a buffer-limited long flow must hit loss and recover";
+  // Goodput stays within 25% of the wire rate despite the sawtooth.
+  EXPECT_LT(reno.seconds, 30'000'000.0 * 8 / 1e9 / 1460.0 * 1500.0 * 1.25);
+}
+
+TEST(TcpBehavior, SwiftHoldsQueueNearDelayTarget) {
+  tcp::SwiftConfig cfg;
+  cfg.target_delay = sim::microseconds(500);
+  const auto swift = run_long_flow(std::make_unique<tcp::SwiftCC>(cfg));
+  ASSERT_GT(swift.seconds, 0);
+  // 500 us of queueing at 1 Gbps is ~62 KB; allow slack for the control
+  // loop's sawtooth but demand far less than Reno's ~250 KB fill.
+  EXPECT_LT(swift.max_backlog_bytes, 150'000);
+  EXPECT_EQ(swift.stats.timeouts, 0);
+}
+
+TEST(TcpBehavior, CubicOutpacesRenoOnLongFatPipe) {
+  auto run = [](std::unique_ptr<tcp::CongestionControl> cc) {
+    sim::Simulator sim;
+    net::DumbbellConfig dc;
+    dc.hosts_per_side = 1;
+    dc.bottleneck_delay = sim::milliseconds(5);  // fatten the pipe
+    auto d = net::make_dumbbell(sim, dc);
+    tcp::TcpFlow flow(sim, *d.left[0], *d.right[0], 1, std::move(cc));
+    sim::SimTime done = -1;
+    flow.send_message(40'000'000, [&](sim::SimTime t) { done = t; });
+    sim.run_until(sim::seconds(60));
+    return done > 0 ? sim::to_seconds(done) : 1e9;
+  };
+  const double reno = run(std::make_unique<tcp::RenoCC>());
+  const double cubic = run(std::make_unique<tcp::CubicCC>());
+  EXPECT_LT(cubic, reno * 1.05)
+      << "CUBIC must be at least competitive with Reno on a long fat pipe";
+}
+
+TEST(TcpBehavior, MltcpGainRampsAndResetsAcrossIterations) {
+  sim::Simulator sim;
+  net::DumbbellConfig dc;
+  dc.hosts_per_side = 1;
+  auto d = net::make_dumbbell(sim, dc);
+  workload::Cluster cluster(sim);
+
+  const std::int64_t bytes = 10'000'000;
+  core::MltcpConfig cfg;
+  cfg.tracker.total_bytes = bytes;
+  cfg.tracker.comp_time = sim::milliseconds(100);
+
+  workload::JobSpec spec;
+  spec.name = "probe";
+  spec.flows = workload::single_flow(d.left[0], d.right[0], bytes);
+  spec.compute_time = sim::milliseconds(300);
+  spec.max_iterations = 3;
+  spec.cc = core::mltcp_reno_factory(cfg);
+  cluster.add_job(spec);
+
+  const auto* gain = dynamic_cast<const core::MltcpGain*>(
+      &cluster.flows_of(0)[0]->sender().cc().window_gain());
+  ASSERT_NE(gain, nullptr);
+
+  double mid_iteration_gain = 0.0;
+  // Sample the gain in the middle of the second iteration's comm phase
+  // (iteration period ~ 82 ms comm + 300 ms compute).
+  sim.schedule(sim::milliseconds(382 + 41), [&] {
+    mid_iteration_gain = gain->gain();
+  });
+  cluster.start_all();
+  sim.run_until(sim::seconds(5));
+
+  EXPECT_GT(mid_iteration_gain, 0.8)
+      << "halfway through an iteration the gain must be near F(0.5)";
+  EXPECT_EQ(gain->tracker().iterations_seen(), 2)
+      << "two compute gaps between three iterations";
+}
+
+TEST(TcpBehavior, TwoMltcpFlowsWithDifferentProgressShareUnequally) {
+  // The core §3.1 insight in isolation: of two competing flows, the one
+  // further into its iteration (higher bytes_ratio) must win bandwidth.
+  sim::Simulator sim;
+  net::DumbbellConfig dc;
+  dc.hosts_per_side = 2;
+  auto d = net::make_dumbbell(sim, dc);
+
+  core::MltcpConfig cfg;
+  cfg.tracker.total_bytes = 40'000'000;
+  cfg.tracker.comp_time = sim::seconds(10);
+
+  tcp::TcpFlow ahead(sim, *d.left[0], *d.right[0], 1,
+                     core::make_mltcp_reno(cfg));
+  tcp::TcpFlow behind(sim, *d.left[1], *d.right[1], 2,
+                      core::make_mltcp_reno(cfg));
+
+  // `ahead` transfers 30 MB alone first: its bytes_ratio reaches 0.75.
+  sim::SimTime ahead_done = -1;
+  sim::SimTime behind_done = -1;
+  ahead.send_message(30'000'000, [&](sim::SimTime) {
+    // Remaining 10 MB now competes with `behind`, which starts at ratio 0.
+    ahead.send_message(10'000'000,
+                       [&](sim::SimTime t) { ahead_done = t; });
+    behind.send_message(40'000'000,
+                        [&](sim::SimTime t) { behind_done = t; });
+  });
+  sim.run_until(sim::seconds(10));
+
+  ASSERT_GT(ahead_done, 0);
+  ASSERT_GT(behind_done, 0);
+  // Contention starts ~0.25 s in. With equal sharing, `ahead`'s last 10 MB
+  // would take ~0.16 s; with its gain advantage it must finish well before
+  // `behind` and faster than the fair-share bound.
+  EXPECT_LT(ahead_done, behind_done);
+  const double contended =
+      sim::to_seconds(ahead_done) - 30'000'000.0 * 1500 / 1460 * 8 / 1e9;
+  EXPECT_LT(contended, 0.155);
+}
+
+TEST(TcpBehavior, PacingSpreadsDeparturesAcrossTheRtt) {
+  // Fixed window 20 on a 2 ms-RTT pipe whose BDP (~167 segments) dwarfs the
+  // window: no queueing, so departures directly show the release pattern.
+  // Unpaced: ACK-clocked 20-segment bursts (12 us wire spacing). Paced:
+  // one segment per srtt/cwnd ~ 100 us.
+  auto median_gap = [](bool pacing) {
+    sim::Simulator sim;
+    net::DumbbellConfig dc;
+    dc.hosts_per_side = 1;
+    dc.bottleneck_delay = sim::milliseconds(1);
+    auto d = net::make_dumbbell(sim, dc);
+    tcp::SenderConfig scfg;
+    scfg.pacing = pacing;
+    tcp::TcpFlow flow(
+        sim, *d.left[0], *d.right[0], 1,
+        std::make_unique<sched::PfabricCC>(sched::PfabricConfig{20.0}),
+        scfg);
+    std::vector<sim::SimTime> departures;
+    d.bottleneck->add_tx_observer(
+        [&](const net::Packet& p, sim::SimTime now) {
+          if (p.type == net::PacketType::kData) departures.push_back(now);
+        });
+    sim::SimTime done = -1;
+    flow.send_message(3'000'000, [&](sim::SimTime t) { done = t; });
+    sim.run_until(sim::seconds(10));
+    EXPECT_GT(done, 0);
+    // Skip the pre-RTT-sample warm-up (first two windows).
+    std::vector<double> gaps;
+    for (std::size_t i = 41; i < departures.size(); ++i) {
+      gaps.push_back(
+          sim::to_microseconds(departures[i] - departures[i - 1]));
+    }
+    return analysis::percentile(gaps, 50);
+  };
+  const double burst_gap = median_gap(false);
+  const double paced_gap = median_gap(true);
+  EXPECT_LT(burst_gap, 20.0) << "unpaced sender must emit bursts";
+  EXPECT_GT(paced_gap, 50.0) << "paced sender must spread across the RTT";
+}
+
+TEST(TcpBehavior, PacedMltcpJobStillConverges) {
+  sim::Simulator sim;
+  net::DumbbellConfig dc;
+  dc.hosts_per_side = 2;
+  auto d = net::make_dumbbell(sim, dc);
+  workload::Cluster cluster(sim);
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+  const std::int64_t bytes = workload::comm_bytes(gpt2, 1e9);
+  core::MltcpConfig cfg;
+  cfg.tracker.total_bytes = bytes;
+  cfg.tracker.comp_time = workload::compute_time(gpt2) / 2;
+  std::vector<workload::Job*> jobs;
+  for (int i = 0; i < 2; ++i) {
+    workload::JobSpec spec;
+    spec.name = "paced-" + std::to_string(i);
+    spec.flows = workload::single_flow(d.left[i], d.right[i], bytes);
+    spec.compute_time = workload::compute_time(gpt2);
+    spec.max_iterations = 25;
+    spec.sender.pacing = true;
+    spec.cc = core::mltcp_reno_factory(cfg);
+    jobs.push_back(cluster.add_job(spec));
+  }
+  cluster.start_all();
+  sim.run_until(sim::seconds(90));
+  for (workload::Job* job : jobs) {
+    ASSERT_EQ(job->completed_iterations(), 25) << job->name();
+    EXPECT_LT(analysis::tail_mean(job->iteration_times_seconds(), 5),
+              sim::to_seconds(gpt2.ideal_iteration_time) * 1.10);
+  }
+}
+
+}  // namespace
+}  // namespace mltcp

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace mltcp::sim {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* name)
+      : path(std::string("/tmp/mltcp_test_") + name + ".csv") {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(CsvWriter, WritesHeaderAndNumericRows) {
+  TempFile f("numeric");
+  {
+    CsvWriter csv(f.path, {"a", "b", "c"});
+    csv.row(std::vector<double>{1.0, 2.5, -3.0});
+    csv.row(std::vector<double>{0.125, 0, 9e9});
+  }
+  EXPECT_EQ(slurp(f.path), "a,b,c\n1,2.5,-3\n0.125,0,9e+09\n");
+}
+
+TEST(CsvWriter, WritesStringRows) {
+  TempFile f("strings");
+  {
+    CsvWriter csv(f.path, {"name", "value"});
+    csv.row(std::vector<std::string>{"reno", "1.81"});
+  }
+  EXPECT_EQ(slurp(f.path), "name,value\nreno,1.81\n");
+}
+
+TEST(CsvWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
+               std::runtime_error);
+}
+
+TEST(CsvWriter, SingleColumnHasNoTrailingComma) {
+  TempFile f("single");
+  {
+    CsvWriter csv(f.path, {"only"});
+    csv.row(std::vector<double>{7});
+  }
+  EXPECT_EQ(slurp(f.path), "only\n7\n");
+}
+
+TEST(RateBinner, NegativeTimestampsClampToFirstBin) {
+  RateBinner binner(milliseconds(1));
+  binner.add(-5, 100);
+  EXPECT_EQ(binner.total_bytes(), 100);
+  EXPECT_GT(binner.rate_bps(0), 0.0);
+}
+
+TEST(RateBinner, OutOfRangeBinReadsZero) {
+  RateBinner binner(milliseconds(1));
+  binner.add(0, 100);
+  EXPECT_DOUBLE_EQ(binner.rate_bps(500), 0.0);
+}
+
+TEST(RateBinner, BinTimeIsMidpoint) {
+  RateBinner binner(milliseconds(10));
+  EXPECT_EQ(binner.bin_time(0), milliseconds(5));
+  EXPECT_EQ(binner.bin_time(3), milliseconds(35));
+}
+
+}  // namespace
+}  // namespace mltcp::sim

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/traffic_class.hpp"
+
+namespace mltcp::core {
+namespace {
+
+TEST(TrafficClassRegistry, RegisterAndMake) {
+  TrafficClassRegistry registry;
+  registry.register_class("training", mltcp_reno_factory());
+  ASSERT_TRUE(registry.has("training"));
+  auto cc = registry.make("training");
+  EXPECT_NE(cc->name().find("mltcp-reno"), std::string::npos);
+}
+
+TEST(TrafficClassRegistry, UnknownClassThrows) {
+  TrafficClassRegistry registry;
+  EXPECT_FALSE(registry.has("bulk"));
+  EXPECT_THROW(registry.factory("bulk"), std::out_of_range);
+  EXPECT_THROW(registry.make("bulk"), std::out_of_range);
+}
+
+TEST(TrafficClassRegistry, NullFactoryRejected) {
+  TrafficClassRegistry registry;
+  EXPECT_THROW(registry.register_class("x", nullptr), std::invalid_argument);
+}
+
+TEST(TrafficClassRegistry, ReRegisterReplaces) {
+  TrafficClassRegistry registry;
+  registry.register_class("t", reno_factory());
+  registry.register_class("t", cubic_factory());
+  EXPECT_EQ(registry.make("t")->name(), "cubic");
+}
+
+TEST(TrafficClassRegistry, ListsClassesSorted) {
+  TrafficClassRegistry registry;
+  registry.register_class("zeta", reno_factory());
+  registry.register_class("alpha", reno_factory());
+  const auto classes = registry.classes();
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0], "alpha");
+  EXPECT_EQ(classes[1], "zeta");
+}
+
+TEST(TrafficClassRegistry, DefaultsMatchSection5) {
+  MltcpConfig training;
+  training.tracker.total_bytes = 1'000'000;
+  training.tracker.comp_time = sim::milliseconds(100);
+  const auto registry = TrafficClassRegistry::with_defaults(training);
+
+  ASSERT_TRUE(registry.has("training"));
+  ASSERT_TRUE(registry.has("bulk"));
+  ASSERT_TRUE(registry.has("latency"));
+
+  EXPECT_NE(registry.make("training")->name().find("mltcp-reno"),
+            std::string::npos);
+  EXPECT_EQ(registry.make("bulk")->name(), "reno");
+
+  // The latency class uses a constant high-gain aggressiveness function, so
+  // its window gain exceeds standard TCP's from the first ACK.
+  auto latency = registry.make("latency");
+  EXPECT_GT(latency->window_gain().gain(), 1.0);
+}
+
+TEST(TrafficClassRegistry, LatencyGainConfigurable) {
+  MltcpConfig training;
+  const auto registry = TrafficClassRegistry::with_defaults(training, 5.0);
+  EXPECT_DOUBLE_EQ(registry.make("latency")->window_gain().gain(), 5.0);
+}
+
+}  // namespace
+}  // namespace mltcp::core

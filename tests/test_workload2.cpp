@@ -1,0 +1,124 @@
+// Tests for the pipeline/microbatched communication extension.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/mltcp.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "workload/cluster.hpp"
+#include "workload/collective.hpp"
+
+namespace mltcp::workload {
+namespace {
+
+struct Rig {
+  sim::Simulator sim;
+  net::Dumbbell d;
+  std::unique_ptr<Cluster> cluster;
+
+  Rig() {
+    net::DumbbellConfig cfg;
+    cfg.hosts_per_side = 2;
+    d = net::make_dumbbell(sim, cfg);
+    cluster = std::make_unique<Cluster>(sim);
+  }
+};
+
+TEST(MicrobatchJob, ChunkGapsExtendCommPhase) {
+  Rig rig;
+  JobSpec spec;
+  spec.name = "piped";
+  spec.flows = single_flow(rig.d.left[0], rig.d.right[0], 3'000'000);
+  spec.compute_time = sim::milliseconds(100);
+  spec.comm_chunks = 3;
+  spec.chunk_gap = sim::milliseconds(20);
+  spec.max_iterations = 3;
+  spec.cc = core::reno_factory();
+  Job* job = rig.cluster->add_job(spec);
+  rig.cluster->start_all();
+  rig.sim.run_until(sim::seconds(10));
+
+  ASSERT_EQ(job->completed_iterations(), 3);
+  // 3 MB wire ~ 24.7 ms + 2 gaps of 20 ms: comm phase must exceed 64 ms and
+  // stay well under double that.
+  for (const double c : job->comm_times_seconds()) {
+    EXPECT_GT(c, 0.064);
+    EXPECT_LT(c, 0.1);
+  }
+}
+
+TEST(MicrobatchJob, TotalBytesPreservedAcrossChunks) {
+  Rig rig;
+  JobSpec spec;
+  spec.name = "piped";
+  // 1,000,001 bytes over 3 chunks: the remainder lands in the last chunk.
+  spec.flows = single_flow(rig.d.left[0], rig.d.right[0], 1'000'001);
+  spec.compute_time = sim::milliseconds(10);
+  spec.comm_chunks = 3;
+  spec.chunk_gap = sim::milliseconds(5);
+  spec.max_iterations = 2;
+  spec.cc = core::reno_factory();
+  Job* job = rig.cluster->add_job(spec);
+  rig.cluster->start_all();
+  rig.sim.run_until(sim::seconds(10));
+
+  ASSERT_EQ(job->completed_iterations(), 2);
+  const auto* flow = rig.cluster->flows_of(0)[0];
+  const std::int64_t per_iter =
+      flow->sender().segments_for_bytes(1'000'001 / 3) * 2 +
+      flow->sender().segments_for_bytes(1'000'001 - 2 * (1'000'001 / 3));
+  EXPECT_EQ(flow->receiver().rcv_next(), 2 * per_iter);
+}
+
+TEST(MicrobatchJob, SingleChunkMatchesLegacyBehaviour) {
+  Rig rig;
+  JobSpec a_spec;
+  a_spec.name = "single";
+  a_spec.flows = single_flow(rig.d.left[0], rig.d.right[0], 2'000'000);
+  a_spec.compute_time = sim::milliseconds(50);
+  a_spec.comm_chunks = 1;
+  a_spec.max_iterations = 3;
+  a_spec.cc = core::reno_factory();
+  Job* job = rig.cluster->add_job(a_spec);
+  rig.cluster->start_all();
+  rig.sim.run_until(sim::seconds(10));
+  ASSERT_EQ(job->completed_iterations(), 3);
+  for (const double t : job->iteration_times_seconds()) {
+    EXPECT_GT(t, 0.066);
+    EXPECT_LT(t, 0.08);
+  }
+}
+
+TEST(MicrobatchJob, MltcpTrackerSurvivesChunkGaps) {
+  // The chunk gap (15 ms) sits below COMP_TIME (60 ms): Algorithm 1 must
+  // not mistake it for an iteration boundary.
+  Rig rig;
+  core::MltcpConfig cfg;
+  cfg.tracker.total_bytes = 3'000'000;
+  cfg.tracker.comp_time = sim::milliseconds(60);
+
+  JobSpec spec;
+  spec.name = "piped";
+  spec.flows = single_flow(rig.d.left[0], rig.d.right[0], 3'000'000);
+  spec.compute_time = sim::milliseconds(200);
+  spec.comm_chunks = 2;
+  spec.chunk_gap = sim::milliseconds(15);
+  spec.max_iterations = 4;
+  spec.cc = core::mltcp_reno_factory(cfg);
+  Job* job = rig.cluster->add_job(spec);
+  rig.cluster->start_all();
+  rig.sim.run_until(sim::seconds(10));
+
+  ASSERT_EQ(job->completed_iterations(), 4);
+  auto& gain = rig.cluster->flows_of(0)[0]->sender().cc().window_gain();
+  const auto* mltcp_gain = dynamic_cast<const core::MltcpGain*>(&gain);
+  ASSERT_NE(mltcp_gain, nullptr);
+  // 4 iterations -> 3 inter-iteration gaps; the 4 chunk gaps (one per
+  // iteration) must not have been counted.
+  EXPECT_EQ(mltcp_gain->tracker().iterations_seen(), 3);
+}
+
+}  // namespace
+}  // namespace mltcp::workload
