@@ -25,6 +25,15 @@ struct Outcome {
   int convergence = -1;    // first iteration within 5% of converged level
 };
 
+/// One packet-level ablation run: which CC factory, ACK batching, and idle
+/// behavior. All six packet runs across sections (A)/(C)/(D) are collected
+/// into a single campaign and sharded across threads.
+struct PacketSpec {
+  tcp::CcFactory cc;
+  int ack_every = 1;
+  bool slow_start_after_idle = true;
+};
+
 Outcome run_packet(const tcp::CcFactory& cc, int ack_every,
                    bool slow_start_after_idle) {
   auto exp = bench::make_experiment();
@@ -68,94 +77,109 @@ Outcome run_packet(const tcp::CcFactory& cc, int ack_every,
   return out;
 }
 
-void boundary_detection_ablation() {
-  bench::print_header("(A) oracle parameters vs Algorithm 1 auto-learning");
-  const workload::ModelProfile gpt2 = workload::gpt2_profile();
-
-  core::MltcpConfig oracle = bench::mltcp_config_for(gpt2, 1e9, 4);
-
-  core::MltcpConfig learned;  // total_bytes = 0, comp_time = 0 -> learn
-  learned.tracker.learn_min_gap = sim::milliseconds(20);
-
-  const Outcome o1 = run_packet(core::mltcp_reno_factory(oracle), 1, true);
-  const Outcome o2 = run_packet(core::mltcp_reno_factory(learned), 1, true);
-  std::printf("oracle:     converged %.3fs by iteration %d\n", o1.tail,
-              o1.convergence);
-  std::printf("auto-learn: converged %.3fs by iteration %d "
-              "(learning costs a few extra iterations)\n",
-              o2.tail, o2.convergence);
-}
-
-void slope_intercept_ablation() {
-  bench::print_header("(B) Slope/Intercept sensitivity (fluid model, "
-                      "4 jobs, a=0.2, T=1.8)");
-  std::printf("slope,intercept,iters_to_interleave\n");
-  for (const double slope : {0.875, 1.75, 3.5}) {
-    for (const double intercept : {0.125, 0.25, 0.5}) {
-      analysis::FluidConfig fc;
-      fc.dt = 5e-4;
-      fc.f = std::make_shared<core::LinearAggressiveness>(slope, intercept);
-      std::vector<analysis::FluidJobSpec> jobs(4);
-      for (std::size_t j = 0; j < jobs.size(); ++j) {
-        jobs[j].comm_seconds = 0.36;
-        jobs[j].compute_seconds = 1.44;
-        // Tiny stagger: the deterministic fluid model needs a symmetry
-        // breaker (the packet simulator gets one for free from loss noise).
-        jobs[j].start_offset = 0.02 * static_cast<double>(j);
-      }
-      analysis::FluidSimulator fluid(fc, jobs);
-      // Count iterations until every job's iteration time is within 2% of
-      // ideal for good.
-      fluid.run_iterations(150, 1e4);
-      int conv = 0;
-      for (std::size_t j = 0; j < jobs.size(); ++j) {
-        const auto times = fluid.iteration_times(j);
-        int last_bad = -1;
-        for (std::size_t i = 0; i < times.size(); ++i) {
-          if (times[i] > 1.8 * 1.02) last_bad = static_cast<int>(i);
-        }
-        conv = std::max(conv, last_bad + 1);
-      }
-      std::printf("%.3f,%.3f,%d\n", slope, intercept, conv);
-    }
+/// Iterations until every fluid job stays within 2% of the 1.8 s ideal.
+int fluid_convergence(double slope, double intercept) {
+  analysis::FluidConfig fc;
+  fc.dt = 5e-4;
+  fc.f = std::make_shared<core::LinearAggressiveness>(slope, intercept);
+  std::vector<analysis::FluidJobSpec> jobs(4);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    jobs[j].comm_seconds = 0.36;
+    jobs[j].compute_seconds = 1.44;
+    // Tiny stagger: the deterministic fluid model needs a symmetry
+    // breaker (the packet simulator gets one for free from loss noise).
+    jobs[j].start_offset = 0.02 * static_cast<double>(j);
   }
-  std::printf("Expected shape: larger Slope/Intercept ratio converges "
-              "faster; the paper's 1.75/0.25 is a robust middle point.\n");
-}
-
-void delayed_ack_ablation() {
-  bench::print_header("(C) per-packet ACKs vs delayed ACKs (ack_every=2)");
-  const workload::ModelProfile gpt2 = workload::gpt2_profile();
-  const core::MltcpConfig cfg = bench::mltcp_config_for(gpt2, 1e9, 4);
-  const Outcome o1 = run_packet(core::mltcp_reno_factory(cfg), 1, true);
-  const Outcome o2 = run_packet(core::mltcp_reno_factory(cfg), 2, true);
-  std::printf("ack_every=1: converged %.3fs by iteration %d\n", o1.tail,
-              o1.convergence);
-  std::printf("ack_every=2: converged %.3fs by iteration %d "
-              "(num_acks batching preserves byte accounting)\n",
-              o2.tail, o2.convergence);
-}
-
-void idle_restart_ablation() {
-  bench::print_header("(D) RFC 2861 slow-start-after-idle (plain Reno "
-                      "baseline)");
-  const Outcome on = run_packet(core::reno_factory(), 1, true);
-  const Outcome off = run_packet(core::reno_factory(), 1, false);
-  std::printf("enabled (Linux default): converged %.3fs by iteration %d\n",
-              on.tail, on.convergence);
-  std::printf("disabled: converged %.3fs by iteration %d (persistent cwnd "
-              "lets the previous winner keep winning, an accidental partial "
-              "interleaver)\n",
-              off.tail, off.convergence);
+  analysis::FluidSimulator fluid(fc, jobs);
+  fluid.run_iterations(150, 1e4);
+  int conv = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto times = fluid.iteration_times(j);
+    int last_bad = -1;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      if (times[i] > 1.8 * 1.02) last_bad = static_cast<int>(i);
+    }
+    conv = std::max(conv, last_bad + 1);
+  }
+  return conv;
 }
 
 }  // namespace
 
 int main() {
   std::printf("MLTCP design-choice ablations.\n");
-  boundary_detection_ablation();
-  slope_intercept_ablation();
-  delayed_ack_ablation();
-  idle_restart_ablation();
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+
+  // All six packet-level runs (sections A, C, D) are independent worlds:
+  // one campaign, sharded across threads, results read back by index.
+  const core::MltcpConfig oracle = bench::mltcp_config_for(gpt2, 1e9, 4);
+  core::MltcpConfig learned;  // total_bytes = 0, comp_time = 0 -> learn
+  learned.tracker.learn_min_gap = sim::milliseconds(20);
+  const std::vector<PacketSpec> packet_specs = {
+      {core::mltcp_reno_factory(oracle), 1, true},   // (A) oracle
+      {core::mltcp_reno_factory(learned), 1, true},  // (A) auto-learn
+      {core::mltcp_reno_factory(oracle), 1, true},   // (C) ack_every=1
+      {core::mltcp_reno_factory(oracle), 2, true},   // (C) ack_every=2
+      {core::reno_factory(), 1, true},               // (D) idle restart on
+      {core::reno_factory(), 1, false},              // (D) idle restart off
+  };
+  const std::vector<Outcome> packet = runner::run_campaign<PacketSpec,
+                                                           Outcome>(
+      packet_specs,
+      [](const PacketSpec& s, std::size_t) {
+        return run_packet(s.cc, s.ack_every, s.slow_start_after_idle);
+      },
+      bench::campaign_options());
+
+  // (B) is a 3x3 grid of fluid-model runs: its own campaign.
+  struct Grid {
+    double slope;
+    double intercept;
+  };
+  std::vector<Grid> grid;
+  for (const double slope : {0.875, 1.75, 3.5}) {
+    for (const double intercept : {0.125, 0.25, 0.5}) {
+      grid.push_back(Grid{slope, intercept});
+    }
+  }
+  const std::vector<int> grid_conv = runner::run_campaign<Grid, int>(
+      grid,
+      [](const Grid& g, std::size_t) {
+        return fluid_convergence(g.slope, g.intercept);
+      },
+      bench::campaign_options());
+
+  bench::print_header("(A) oracle parameters vs Algorithm 1 auto-learning");
+  std::printf("oracle:     converged %.3fs by iteration %d\n",
+              packet[0].tail, packet[0].convergence);
+  std::printf("auto-learn: converged %.3fs by iteration %d "
+              "(learning costs a few extra iterations)\n",
+              packet[1].tail, packet[1].convergence);
+
+  bench::print_header("(B) Slope/Intercept sensitivity (fluid model, "
+                      "4 jobs, a=0.2, T=1.8)");
+  std::printf("slope,intercept,iters_to_interleave\n");
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    std::printf("%.3f,%.3f,%d\n", grid[i].slope, grid[i].intercept,
+                grid_conv[i]);
+  }
+  std::printf("Expected shape: larger Slope/Intercept ratio converges "
+              "faster; the paper's 1.75/0.25 is a robust middle point.\n");
+
+  bench::print_header("(C) per-packet ACKs vs delayed ACKs (ack_every=2)");
+  std::printf("ack_every=1: converged %.3fs by iteration %d\n",
+              packet[2].tail, packet[2].convergence);
+  std::printf("ack_every=2: converged %.3fs by iteration %d "
+              "(num_acks batching preserves byte accounting)\n",
+              packet[3].tail, packet[3].convergence);
+
+  bench::print_header("(D) RFC 2861 slow-start-after-idle (plain Reno "
+                      "baseline)");
+  std::printf("enabled (Linux default): converged %.3fs by iteration %d\n",
+              packet[4].tail, packet[4].convergence);
+  std::printf("disabled: converged %.3fs by iteration %d (persistent cwnd "
+              "lets the previous winner keep winning, an accidental partial "
+              "interleaver)\n",
+              packet[5].tail, packet[5].convergence);
   return 0;
 }

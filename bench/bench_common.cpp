@@ -109,6 +109,14 @@ void print_row(const std::vector<std::string>& cells) {
   }
 }
 
+runner::CampaignOptions campaign_options() {
+  return runner::options_from_env();
+}
+
+void write_sink(const runner::CsvSink& sink, const std::string& name) {
+  sink.write(results_dir() + "/" + name + ".csv");
+}
+
 std::string results_dir() {
   const char* env = std::getenv("MLTCP_RESULTS_DIR");
   const std::string dir = env != nullptr ? env : "results";

@@ -8,6 +8,8 @@
 
 #include "core/mltcp.hpp"
 #include "net/topology.hpp"
+#include "runner/campaign.hpp"
+#include "runner/sinks.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "workload/cluster.hpp"
@@ -83,6 +85,18 @@ sim::RateBinner* bottleneck_binner_for_job(Experiment& exp,
 void print_header(const std::string& title);
 void print_series(const std::string& name, const std::vector<double>& xs);
 void print_row(const std::vector<std::string>& cells);
+
+/// ---- campaign execution ----
+
+/// Thread options for a bench's parameter sweep: MLTCP_THREADS environment
+/// variable, 0/unset = hardware concurrency, 1 = serial reference run.
+/// Every bench shards its sweep through runner::run_campaign with these
+/// options; results are keyed by spec index, so the printed output and any
+/// CSV are byte-identical at every thread count.
+runner::CampaignOptions campaign_options();
+
+/// Writes an aggregated campaign CSV to results_dir()/<name>.csv.
+void write_sink(const runner::CsvSink& sink, const std::string& name);
 
 /// ---- machine-readable results ----
 

@@ -68,8 +68,12 @@ void pipeline_jobs() {
     }
     return analysis::mean(tails);
   };
-  const double single = run(1);
-  const double piped = run(3);
+  const std::vector<int> chunk_counts = {1, 3};
+  const std::vector<double> tails = runner::run_campaign<int, double>(
+      chunk_counts, [&run](const int c, std::size_t) { return run(c); },
+      bench::campaign_options());
+  const double single = tails[0];
+  const double piped = tails[1];
   std::printf("1 chunk/iteration : converged %.3fs (ideal %.3fs)\n", single,
               ideal_s());
   std::printf("3 chunks/iteration: converged %.3fs -> MLTCP %s outside the "
@@ -127,28 +131,35 @@ void scalability() {
   bench::print_header("E3: fluid-model convergence vs number of jobs "
                       "(utilization fixed at 0.8)");
   std::printf("jobs,comm_fraction,iters_to_interleave\n");
-  for (const int n : {2, 4, 6, 8, 12, 16, 24}) {
-    const double a = 0.8 / n;
-    analysis::FluidConfig fc;
-    fc.dt = 1e-3;
-    std::vector<analysis::FluidJobSpec> jobs(n);
-    for (int j = 0; j < n; ++j) {
-      jobs[j].comm_seconds = a * 1.8;
-      jobs[j].compute_seconds = 1.8 - a * 1.8;
-      jobs[j].start_offset = 0.01 * j;
-    }
-    analysis::FluidSimulator fluid(fc, jobs);
-    fluid.run_iterations(400, 2e4);
-    int conv = 0;
-    for (int j = 0; j < n; ++j) {
-      const auto times = fluid.iteration_times(j);
-      int last_bad = -1;
-      for (std::size_t i = 0; i < times.size(); ++i) {
-        if (times[i] > 1.8 * 1.02) last_bad = static_cast<int>(i);
-      }
-      conv = std::max(conv, last_bad + 1);
-    }
-    std::printf("%d,%.3f,%d\n", n, a, conv);
+  const std::vector<int> sizes = {2, 4, 6, 8, 12, 16, 24};
+  const std::vector<int> convergence = runner::run_campaign<int, int>(
+      sizes,
+      [](const int n, std::size_t) {
+        const double a = 0.8 / n;
+        analysis::FluidConfig fc;
+        fc.dt = 1e-3;
+        std::vector<analysis::FluidJobSpec> jobs(n);
+        for (int j = 0; j < n; ++j) {
+          jobs[j].comm_seconds = a * 1.8;
+          jobs[j].compute_seconds = 1.8 - a * 1.8;
+          jobs[j].start_offset = 0.01 * j;
+        }
+        analysis::FluidSimulator fluid(fc, jobs);
+        fluid.run_iterations(400, 2e4);
+        int conv = 0;
+        for (int j = 0; j < n; ++j) {
+          const auto times = fluid.iteration_times(j);
+          int last_bad = -1;
+          for (std::size_t i = 0; i < times.size(); ++i) {
+            if (times[i] > 1.8 * 1.02) last_bad = static_cast<int>(i);
+          }
+          conv = std::max(conv, last_bad + 1);
+        }
+        return conv;
+      },
+      bench::campaign_options());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("%d,%.3f,%d\n", sizes[i], 0.8 / sizes[i], convergence[i]);
   }
 }
 
@@ -180,11 +191,21 @@ void drr_baseline() {
     }
     return analysis::mean(tails);
   };
-  std::printf("reno + droptail : %.3fs\n", run(false, false));
+  struct Combo {
+    bool drr;
+    bool mltcp;
+  };
+  const std::vector<Combo> combos = {{false, false}, {true, false},
+                                     {false, true}};
+  const std::vector<double> tails = runner::run_campaign<Combo, double>(
+      combos,
+      [&run](const Combo& c, std::size_t) { return run(c.drr, c.mltcp); },
+      bench::campaign_options());
+  std::printf("reno + droptail : %.3fs\n", tails[0]);
   std::printf("reno + DRR      : %.3fs  <- perfect per-flow fairness alone "
               "does not interleave\n",
-              run(true, false));
-  std::printf("mltcp + droptail: %.3fs (ideal %.3fs)\n", run(false, true),
+              tails[1]);
+  std::printf("mltcp + droptail: %.3fs (ideal %.3fs)\n", tails[2],
               ideal_s());
 }
 
@@ -214,11 +235,25 @@ void sack_ablation() {
     return Out{done > 0 ? sim::to_seconds(done) : -1.0,
                flow.sender().stats().timeouts};
   };
-  std::printf("loss_p,newreno_s,newreno_rtos,sack_s,sack_rtos\n");
+  struct LossSpec {
+    bool sack;
+    double loss;
+  };
+  std::vector<LossSpec> specs;
   for (const double p : {0.001, 0.005, 0.02}) {
-    const auto nr = run(false, p);
-    const auto sk = run(true, p);
-    std::printf("%.3f,%.2f,%lld,%.2f,%lld\n", p, nr.seconds,
+    specs.push_back(LossSpec{false, p});
+    specs.push_back(LossSpec{true, p});
+  }
+  using Out = decltype(run(false, 0.0));
+  const std::vector<Out> outs = runner::run_campaign<LossSpec, Out>(
+      specs,
+      [&run](const LossSpec& s, std::size_t) { return run(s.sack, s.loss); },
+      bench::campaign_options());
+  std::printf("loss_p,newreno_s,newreno_rtos,sack_s,sack_rtos\n");
+  for (std::size_t i = 0; i + 1 < outs.size(); i += 2) {
+    const Out& nr = outs[i];
+    const Out& sk = outs[i + 1];
+    std::printf("%.3f,%.2f,%lld,%.2f,%lld\n", specs[i].loss, nr.seconds,
                 static_cast<long long>(nr.timeouts), sk.seconds,
                 static_cast<long long>(sk.timeouts));
   }

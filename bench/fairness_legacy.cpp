@@ -77,13 +77,33 @@ void loss_response() {
   cfg.tracker.comp_time = sim::milliseconds(150);
 
   const std::vector<double> ps = {0.0001, 0.0003, 0.001, 0.003, 0.01};
+  // 2 variants x 5 loss rates = 10 independent lossy runs: one campaign.
+  struct LossPoint {
+    bool mltcp;
+    double p;
+  };
+  std::vector<LossPoint> points;
+  for (const double p : ps) {
+    points.push_back(LossPoint{false, p});
+    points.push_back(LossPoint{true, p});
+  }
+  const std::vector<double> goodputs =
+      runner::run_campaign<LossPoint, double>(
+          points,
+          [&cfg](const LossPoint& pt, std::size_t) {
+            return lossy_goodput(pt.mltcp
+                                     ? core::mltcp_reno_factory(cfg)
+                                     : core::reno_factory(),
+                                 pt.p);
+          },
+          bench::campaign_options());
   std::vector<double> reno_tp;
   std::vector<double> mltcp_tp;
   std::printf("loss_p,reno_gbps,mltcp_gbps\n");
-  for (const double p : ps) {
-    reno_tp.push_back(lossy_goodput(core::reno_factory(), p));
-    mltcp_tp.push_back(lossy_goodput(core::mltcp_reno_factory(cfg), p));
-    std::printf("%.4f,%.4f,%.4f\n", p, reno_tp.back(), mltcp_tp.back());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    reno_tp.push_back(goodputs[2 * i]);
+    mltcp_tp.push_back(goodputs[2 * i + 1]);
+    std::printf("%.4f,%.4f,%.4f\n", ps[i], reno_tp.back(), mltcp_tp.back());
   }
   std::printf("log-log slope: reno %.2f (theory -0.5), mltcp %.2f "
               "(paper argues steeper, toward -1)\n",

@@ -32,10 +32,19 @@ struct RunResult {
   std::vector<double> all_times;                     // pooled
   std::vector<double> steady_times;                  // last 30 iters pooled
   double overlap_tail_seconds = 0.0;  // comm overlap in the last 20 s
+  runner::Report report;              // the run's section of the output
 };
 
-RunResult run(const tcp::CcFactory& cc, const char* label,
-              bool print_bandwidth) {
+/// One campaign variant. Each run owns its whole world (Simulator, dumbbell,
+/// cluster), so the two variants execute on different threads; the report is
+/// accumulated per run and printed in spec order afterwards.
+struct Variant {
+  const char* label;
+  tcp::CcFactory cc;
+  bool print_bandwidth;
+};
+
+RunResult run(const Variant& v) {
   auto exp = bench::make_experiment();
   const workload::ModelProfile gpt2 = workload::gpt2_profile();
 
@@ -44,7 +53,7 @@ RunResult run(const tcp::CcFactory& cc, const char* label,
     bench::ProfileJobOptions opts;
     opts.max_iterations = kIterations;
     opts.noise_stddev_seconds = kNoiseStddevSeconds;
-    jobs.push_back(bench::add_profile_job(*exp, gpt2, i, cc, opts));
+    jobs.push_back(bench::add_profile_job(*exp, gpt2, i, v.cc, opts));
   }
   std::vector<sim::RateBinner*> binners;
   for (int i = 0; i < kJobs; ++i) {
@@ -75,28 +84,31 @@ RunResult run(const tcp::CcFactory& cc, const char* label,
   res.overlap_tail_seconds =
       analysis::comm_overlap_seconds(cjobs, end - sim::seconds(20), end);
 
-  bench::print_header(std::string("Figure 4: six GPT-2 jobs, ") + label);
+  res.report.addf("\n==== %s ====\n",
+                  (std::string("Figure 4: six GPT-2 jobs, ") + v.label)
+                      .c_str());
   for (int i = 0; i < kJobs; ++i) {
     const auto& times = res.iteration_times[i];
-    std::printf("job %d: iters %zu, mean %.3fs, last-10 mean %.3fs\n", i,
-                times.size(), analysis::mean(times),
-                analysis::tail_mean(times, 10));
+    res.report.addf("job %d: iters %zu, mean %.3fs, last-10 mean %.3fs\n", i,
+                    times.size(), analysis::mean(times),
+                    analysis::tail_mean(times, 10));
   }
-  std::printf("comm overlap in final 20s: %.3fs (0 = fully interleaved)\n",
-              res.overlap_tail_seconds);
+  res.report.addf(
+      "comm overlap in final 20s: %.3fs (0 = fully interleaved)\n",
+      res.overlap_tail_seconds);
 
-  if (print_bandwidth) {
-    std::printf("bandwidth (Gbps per 100ms bin, first 12s):\ntime_s");
-    for (int i = 0; i < kJobs; ++i) std::printf(",job%d", i);
-    std::printf("\n");
+  if (v.print_bandwidth) {
+    res.report.addf("bandwidth (Gbps per 100ms bin, first 12s):\ntime_s");
+    for (int i = 0; i < kJobs; ++i) res.report.addf(",job%d", i);
+    res.report.addf("\n");
     for (std::size_t b = 0; b < 120 && b < binners[0]->bin_count(); ++b) {
-      std::printf("%.1f", sim::to_seconds(binners[0]->bin_time(b)));
+      res.report.addf("%.1f", sim::to_seconds(binners[0]->bin_time(b)));
       for (int i = 0; i < kJobs; ++i) {
-        std::printf(",%.3f", b < binners[i]->bin_count()
-                                 ? binners[i]->rate_gbps(b)
-                                 : 0.0);
+        res.report.addf(",%.3f", b < binners[i]->bin_count()
+                                     ? binners[i]->rate_gbps(b)
+                                     : 0.0);
       }
-      std::printf("\n");
+      res.report.addf("\n");
     }
   }
   return res;
@@ -117,12 +129,22 @@ void print_cdf(const char* label, const std::vector<double>& xs) {
 int main() {
   std::printf("Reproduces Figure 4 of MLTCP (HotNets'24).\n");
 
-  const RunResult reno = run(core::reno_factory(), "TCP Reno", true);
-
   const workload::ModelProfile gpt2 = workload::gpt2_profile();
   const core::MltcpConfig cfg = bench::mltcp_config_for(gpt2, 1e9);
-  const RunResult mltcp =
-      run(core::mltcp_reno_factory(cfg), "MLTCP-Reno", true);
+  // The two 450-simulated-second variants are independent worlds; shard them
+  // across threads and print the accumulated reports in spec order.
+  const std::vector<Variant> variants = {
+      {"TCP Reno", core::reno_factory(), true},
+      {"MLTCP-Reno", core::mltcp_reno_factory(cfg), true},
+  };
+  const std::vector<RunResult> results =
+      runner::run_campaign<Variant, RunResult>(
+          variants, [](const Variant& v, std::size_t) { return run(v); },
+          bench::campaign_options());
+  for (const RunResult& r : results) std::fputs(r.report.text().c_str(),
+                                                stdout);
+  const RunResult& reno = results[0];
+  const RunResult& mltcp = results[1];
 
   bench::print_header("Figure 4c: iteration-time CDF");
   print_cdf("reno", reno.all_times);

@@ -14,6 +14,7 @@
 #include "analysis/fluid_model.hpp"
 #include "analysis/metrics.hpp"
 #include "analysis/shift.hpp"
+#include "bench_common.hpp"
 #include "sim/random.hpp"
 
 namespace {
@@ -81,15 +82,31 @@ int main() {
   p.alpha = 0.5;
   p.period = 1.8;
 
+  // Each sigma is an independent 400-iteration fluid run plus a 4000-step
+  // recursion: shard the sweep across threads, print rows in sweep order.
+  struct Row {
+    double bound;
+    double fluid;
+    double recursion;
+  };
+  const std::vector<double> sigmas = {0.002, 0.005, 0.01, 0.02, 0.04};
+  const std::vector<Row> rows = runner::run_campaign<double, Row>(
+      sigmas,
+      [&p](const double sigma, std::size_t) {
+        return Row{
+            analysis::predicted_error_stddev(sigma, p.slope, p.intercept),
+            fluid_error_std(sigma, p, 1234),
+            recursion_error_std(sigma, p, 77)};
+      },
+      mltcp::bench::campaign_options());
+
   std::printf("\nsigma_s,predicted_bound_s,fluid_measured_s,"
               "recursion_measured_s\n");
-  for (const double sigma : {0.002, 0.005, 0.01, 0.02, 0.04}) {
-    const double bound =
-        analysis::predicted_error_stddev(sigma, p.slope, p.intercept);
-    const double fluid = fluid_error_std(sigma, p, 1234);
-    const double recursion = recursion_error_std(sigma, p, 77);
-    std::printf("%.3f,%.4f,%.4f,%.4f%s\n", sigma, bound, fluid, recursion,
-                (fluid <= bound * 1.15 && recursion <= bound * 1.15)
+  for (std::size_t i = 0; i < sigmas.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("%.3f,%.4f,%.4f,%.4f%s\n", sigmas[i], r.bound, r.fluid,
+                r.recursion,
+                (r.fluid <= r.bound * 1.15 && r.recursion <= r.bound * 1.15)
                     ? ""
                     : "  <-- exceeds bound");
   }

@@ -1,0 +1,144 @@
+// Micro-benchmark for the campaign runner: shards a batch of 32 independent
+// packet-level simulations across 1 / 2 / 4 threads, verifies that the
+// aggregated CSV output is byte-identical at every thread count (results are
+// keyed by spec index, never by completion order), and reports the
+// wall-clock speedup over the serial run.
+//
+//   ./build/bench/runner_scaling            # 32 runs, threads {1,2,4}
+//   MLTCP_RUNS=64 ./build/bench/runner_scaling
+//
+// On a single-core machine the speedup degenerates to ~1x (the pool runs
+// everything inline); the byte-identity check is meaningful regardless.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mltcp;
+
+/// One small but non-trivial run: two GPT-2 jobs contending on a dumbbell
+/// for 8 iterations, with a per-spec noise level so every run's event
+/// trajectory is unique. ~100 ms of wall clock each.
+struct ScalingSpec {
+  double noise_stddev_seconds = 0.0;
+};
+
+struct ScalingResult {
+  double tail_mean_s = 0.0;
+  double mean_s = 0.0;
+};
+
+ScalingResult run_one(const ScalingSpec& spec) {
+  bench::ScenarioConfig scenario;
+  scenario.hosts_per_side = 2;
+  auto exp = bench::make_experiment(scenario);
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+  const core::MltcpConfig cfg =
+      bench::mltcp_config_for(gpt2, scenario.bottleneck_rate_bps);
+  std::vector<workload::Job*> jobs;
+  for (int i = 0; i < 2; ++i) {
+    bench::ProfileJobOptions opts;
+    opts.max_iterations = 8;
+    opts.noise_stddev_seconds = spec.noise_stddev_seconds;
+    jobs.push_back(bench::add_profile_job(*exp, gpt2, i,
+                                          core::mltcp_reno_factory(cfg),
+                                          opts));
+  }
+  exp->cluster->start_all();
+  exp->sim.run_until(sim::seconds(25));
+
+  ScalingResult res;
+  std::vector<double> tails;
+  std::vector<double> means;
+  for (workload::Job* job : jobs) {
+    tails.push_back(analysis::tail_mean(job->iteration_times_seconds(), 3));
+    means.push_back(analysis::mean(job->iteration_times_seconds()));
+  }
+  res.tail_mean_s = analysis::mean(tails);
+  res.mean_s = analysis::mean(means);
+  return res;
+}
+
+/// Executes the whole campaign at `threads` and returns the serialized CSV
+/// plus the wall-clock seconds it took.
+struct CampaignOutcome {
+  std::string csv;
+  double wall_seconds = 0.0;
+};
+
+CampaignOutcome run_campaign_at(const std::vector<ScalingSpec>& specs,
+                                int threads) {
+  runner::CsvSink sink({"run", "noise_s", "mean_iter_s", "tail_iter_s"});
+  runner::CampaignOptions opts;
+  opts.threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<ScalingResult> results =
+      runner::run_campaign<ScalingSpec, ScalingResult>(
+          specs,
+          [&sink](const ScalingSpec& s, std::size_t i) {
+            const ScalingResult r = run_one(s);
+            sink.append(i, std::vector<double>{static_cast<double>(i),
+                                               s.noise_stddev_seconds,
+                                               r.mean_s, r.tail_mean_s});
+            return r;
+          },
+          opts);
+  const auto t1 = std::chrono::steady_clock::now();
+  (void)results;
+  CampaignOutcome out;
+  out.csv = sink.serialize();
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  int runs = 32;
+  if (const char* env = std::getenv("MLTCP_RUNS")) {
+    runs = std::max(std::atoi(env), 1);
+  }
+  std::vector<ScalingSpec> specs;
+  for (int i = 0; i < runs; ++i) {
+    specs.push_back(ScalingSpec{0.001 + 0.0005 * i});
+  }
+
+  std::printf("campaign-runner scaling: %d independent sim runs "
+              "(hardware threads: %u)\n",
+              runs, std::thread::hardware_concurrency());
+
+  const CampaignOutcome serial = run_campaign_at(specs, 1);
+  std::printf("threads=1: %.2fs (serial reference)\n", serial.wall_seconds);
+
+  bool identical = true;
+  for (const int threads : {2, 4}) {
+    const CampaignOutcome par = run_campaign_at(specs, threads);
+    const bool same = par.csv == serial.csv;
+    identical = identical && same;
+    std::printf("threads=%d: %.2fs, speedup %.2fx, output %s\n", threads,
+                par.wall_seconds, serial.wall_seconds / par.wall_seconds,
+                same ? "byte-identical to serial"
+                     : "DIFFERS FROM SERIAL (bug!)");
+  }
+
+  // Persist the serial CSV (all thread counts produced the same bytes).
+  const std::string path = bench::results_dir() + "/runner_scaling.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f != nullptr) {
+    std::fwrite(serial.csv.data(), 1, serial.csv.size(), f);
+    std::fclose(f);
+  }
+  if (!identical) {
+    std::printf("FAIL: parallel output diverged from serial\n");
+    return 1;
+  }
+  return 0;
+}

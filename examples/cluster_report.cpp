@@ -7,8 +7,12 @@
 //
 //   ./build/examples/cluster_report                # default mix
 //   ./build/examples/cluster_report 1.8:0.15 1.8:0.15 1.2:0.25
+//   ./build/examples/cluster_report 1.8:0.15 1.8:0.15 + 1.2:0.25 1.2:0.25
 //
-// Each argument is one job as <period_seconds>:<comm_fraction>.
+// Each argument is one job as <period_seconds>:<comm_fraction>; a literal
+// '+' separates independent mixes. Multiple mixes are analyzed in parallel
+// through the campaign runner (MLTCP_THREADS controls sharding) and the
+// reports print in argument order regardless of which finishes first.
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +22,7 @@
 
 #include "analysis/fluid_model.hpp"
 #include "analysis/metrics.hpp"
+#include "runner/campaign.hpp"
 #include "sched/centralized.hpp"
 
 using namespace mltcp;
@@ -29,9 +34,13 @@ struct JobMix {
   double comm_fraction = 0.0;
 };
 
-std::vector<JobMix> parse(int argc, char** argv) {
-  std::vector<JobMix> mix;
+std::vector<std::vector<JobMix>> parse(int argc, char** argv) {
+  std::vector<std::vector<JobMix>> mixes(1);
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "+") == 0) {
+      if (!mixes.back().empty()) mixes.emplace_back();
+      continue;
+    }
     JobMix job;
     if (std::sscanf(argv[i], "%lf:%lf", &job.period_s,
                     &job.comm_fraction) != 2 ||
@@ -41,24 +50,22 @@ std::vector<JobMix> parse(int argc, char** argv) {
                    argv[i]);
       std::exit(2);
     }
-    mix.push_back(job);
+    mixes.back().push_back(job);
   }
-  if (mix.empty()) {
+  if (mixes.back().empty()) mixes.pop_back();
+  if (mixes.empty()) {
     // Default: the paper's Figure 2 mix.
-    mix = {{1.2, 0.25}, {1.8, 0.15}, {1.8, 0.15}, {1.8, 0.15}};
+    mixes = {{{1.2, 0.25}, {1.8, 0.15}, {1.8, 0.15}, {1.8, 0.15}}};
   }
-  return mix;
+  return mixes;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const std::vector<JobMix> mix = parse(argc, argv);
-
+runner::Report analyze(const std::vector<JobMix>& mix) {
+  runner::Report rep;
   double utilization = 0.0;
   for (const auto& j : mix) utilization += j.comm_fraction;
-  std::printf("cluster report: %zu jobs, bottleneck utilization %.2f\n\n",
-              mix.size(), utilization);
+  rep.addf("cluster report: %zu jobs, bottleneck utilization %.2f\n\n",
+           mix.size(), utilization);
 
   // 1. Does an interleaved schedule exist at all? (centralized view)
   std::vector<sched::PeriodicDemand> demands;
@@ -68,17 +75,17 @@ int main(int argc, char** argv) {
         sim::from_seconds(mix[i].period_s * mix[i].comm_fraction)});
   }
   const sched::Schedule schedule = sched::optimize_interleaving(demands);
-  std::printf("centralized optimizer: hyperperiod %.2fs, residual overlap "
-              "%.4fs -> %s\n",
-              sim::to_seconds(schedule.hyperperiod),
-              sim::to_seconds(schedule.excess),
-              schedule.excess == 0 ? "fully interleavable"
-                                   : "NOT fully interleavable");
-  std::printf("optimal offsets:");
+  rep.addf("centralized optimizer: hyperperiod %.2fs, residual overlap "
+           "%.4fs -> %s\n",
+           sim::to_seconds(schedule.hyperperiod),
+           sim::to_seconds(schedule.excess),
+           schedule.excess == 0 ? "fully interleavable"
+                                : "NOT fully interleavable");
+  rep.addf("optimal offsets:");
   for (const auto off : schedule.offsets) {
-    std::printf(" %.3fs", sim::to_seconds(off));
+    rep.addf(" %.3fs", sim::to_seconds(off));
   }
-  std::printf("\n\n");
+  rep.addf("\n\n");
 
   // 2. What does distributed MLTCP converge to? (fluid model)
   analysis::FluidConfig fc;
@@ -94,9 +101,9 @@ int main(int argc, char** argv) {
   analysis::FluidSimulator fluid(fc, jobs);
   fluid.run_iterations(300, 1e4);
 
-  std::printf("MLTCP (fluid model, Slope 1.75 / Intercept 0.25):\n");
-  std::printf("%-6s %10s %14s %16s %14s\n", "job", "ideal_s", "converged_s",
-              "slowdown", "converged_by");
+  rep.addf("MLTCP (fluid model, Slope 1.75 / Intercept 0.25):\n");
+  rep.addf("%-6s %10s %14s %16s %14s\n", "job", "ideal_s", "converged_s",
+           "slowdown", "converged_by");
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     const auto times = fluid.iteration_times(j);
     const double converged = analysis::tail_mean(times, 20);
@@ -104,21 +111,45 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i + 20 < times.size(); ++i) {
       if (times[i] > converged * 1.05) last_bad = static_cast<int>(i);
     }
-    std::printf("%-6zu %10.3f %14.3f %15.1f%% %14d\n", j, mix[j].period_s,
-                converged, 100.0 * (converged / mix[j].period_s - 1.0),
-                last_bad + 1);
+    rep.addf("%-6zu %10.3f %14.3f %15.1f%% %14d\n", j, mix[j].period_s,
+             converged, 100.0 * (converged / mix[j].period_s - 1.0),
+             last_bad + 1);
   }
 
   fluid.reset_excess();
   fluid.run_until(fluid.now() + 30.0);
-  std::printf("\nresidual comm overlap in steady state: %.4f s/s\n",
-              fluid.accumulated_excess() / 30.0);
+  rep.addf("\nresidual comm overlap in steady state: %.4f s/s\n",
+           fluid.accumulated_excess() / 30.0);
   if (schedule.excess == 0) {
-    std::printf("verdict: this mix self-interleaves under MLTCP; expect "
-                "near-ideal iteration times.\n");
+    rep.addf("verdict: this mix self-interleaves under MLTCP; expect "
+             "near-ideal iteration times.\n");
   } else {
-    std::printf("verdict: the mix is overloaded; MLTCP will still reduce "
-                "contention but cannot reach the ideal.\n");
+    rep.addf("verdict: the mix is overloaded; MLTCP will still reduce "
+             "contention but cannot reach the ideal.\n");
   }
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::vector<JobMix>> mixes = parse(argc, argv);
+
+  std::vector<runner::SimSpec> specs;
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    runner::SimSpec spec;
+    spec.name = "mix" + std::to_string(m);
+    const std::vector<JobMix>& mix = mixes[m];
+    const bool banner = mixes.size() > 1;
+    spec.run = [&mix, m, banner](const runner::SimSpec&) {
+      runner::Report rep;
+      if (banner) rep.addf("======== mix %zu ========\n", m);
+      rep.add(analyze(mix).text());
+      if (banner) rep.addf("\n");
+      return rep;
+    };
+    specs.push_back(std::move(spec));
+  }
+  runner::run_and_print(specs, runner::options_from_env());
   return 0;
 }

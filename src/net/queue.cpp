@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace mltcp::net {
 
@@ -188,7 +189,20 @@ double RedQueue::next_uniform() {
   return static_cast<double>(z >> 11) * 0x1.0p-53;
 }
 
-bool RedQueue::enqueue(Packet pkt, sim::SimTime /*now*/) {
+bool RedQueue::enqueue(Packet pkt, sim::SimTime now) {
+  // Arrival after an idle period: the EWMA only updates on arrivals, so
+  // without decay a stale high average from the last burst keeps
+  // early-dropping on a near-empty queue. Age it as if `m` typical packets
+  // had departed while the queue sat empty.
+  if (idle_since_ >= 0 && cfg_.idle_pkt_time > 0 && now > idle_since_) {
+    const double m = static_cast<double>(now - idle_since_) /
+                     static_cast<double>(cfg_.idle_pkt_time);
+    avg_ *= std::pow(1.0 - cfg_.ewma_weight, m);
+    // Decay applied up to `now`; if this arrival ends up dropped the queue
+    // stays idle from here on.
+    idle_since_ = now;
+  }
+
   avg_ = (1.0 - cfg_.ewma_weight) * avg_ +
          cfg_.ewma_weight * static_cast<double>(backlog_);
 
@@ -219,16 +233,18 @@ bool RedQueue::enqueue(Packet pkt, sim::SimTime /*now*/) {
   }
   backlog_ += pkt.size_bytes;
   q_.push_back(pkt);
+  idle_since_ = -1;
   ++stats_.enqueued_packets;
   stats_.max_backlog_bytes = std::max(stats_.max_backlog_bytes, backlog_);
   return true;
 }
 
-std::optional<Packet> RedQueue::dequeue(sim::SimTime /*now*/) {
+std::optional<Packet> RedQueue::dequeue(sim::SimTime now) {
   if (q_.empty()) return std::nullopt;
   Packet pkt = q_.front();
   q_.pop_front();
   backlog_ -= pkt.size_bytes;
+  if (q_.empty()) idle_since_ = now;
   return pkt;
 }
 

@@ -164,6 +164,11 @@ class RedQueue : public QueueDiscipline {
     double ewma_weight = 0.002;
     bool mark_instead_of_drop = false;  ///< ECN mode for capable packets.
     std::uint64_t seed = 31;
+    /// Transmission time of a typical packet, used to decay the EWMA across
+    /// idle periods (Floyd & Jacobson §4: while the queue is empty the
+    /// average ages as if one small packet departed every `idle_pkt_time`).
+    /// Default: 1500 B at 1 Gbps. Set to 0 to disable idle decay.
+    sim::SimTime idle_pkt_time = sim::microseconds(12);
   };
 
   explicit RedQueue(Config cfg);
@@ -182,6 +187,7 @@ class RedQueue : public QueueDiscipline {
   Config cfg_;
   std::int64_t backlog_ = 0;
   double avg_ = 0.0;
+  sim::SimTime idle_since_ = 0;  ///< When the queue went empty; -1 = busy.
   std::uint64_t rng_state_;
   std::deque<Packet> q_;
 };

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace mltcp::runner {
+
+/// Work-stealing executor for batches of independent, index-addressed tasks.
+///
+/// Tasks are dealt round-robin onto per-worker deques; each worker pops from
+/// the front of its own deque and, when that runs dry, steals from the back
+/// of a victim's. Stealing from the opposite end keeps contention low and
+/// tends to hand thieves the large-granularity tail of a batch, which is
+/// exactly what a campaign of unevenly sized simulation runs needs.
+///
+/// The pool is ephemeral: run() spawns its workers, blocks until every task
+/// has executed, and joins them. A campaign is seconds-to-minutes of work,
+/// so thread start-up cost is noise and there is no idle-pool lifetime to
+/// manage.
+class WorkStealingPool {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency().
+  explicit WorkStealingPool(int threads = 0);
+
+  int thread_count() const { return threads_; }
+
+  /// Runs fn(0) .. fn(count - 1), each exactly once, across the pool's
+  /// threads; blocks until all have finished. With one thread (or one task)
+  /// everything runs inline on the caller, in index order — the serial
+  /// reference path. If any task throws, the remaining tasks still run and
+  /// the first exception (by worker discovery order) is rethrown.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  int threads_;
+};
+
+}  // namespace mltcp::runner

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace mltcp::tcp {
+
+/// Set of segment sequence numbers stored as disjoint half-open intervals
+/// [start, end). This is the SACK-scoreboard representation: a window's
+/// worth of SACKed segments collapses to a handful of intervals, so every
+/// operation is O(log k) in the number of holes instead of O(window) in
+/// segments — the difference between per-ACK work that is constant and work
+/// that rescans the whole window (the old std::set-of-seqs bookkeeping).
+class IntervalSet {
+ public:
+  /// Adds [start, end), merging with any overlapping or adjacent intervals.
+  void insert(std::int64_t start, std::int64_t end) {
+    if (start >= end) return;
+    // First interval whose start is > `start`; the one before it (if any)
+    // may swallow or touch the new range.
+    auto next = m_.upper_bound(start);
+    if (next != m_.begin()) {
+      auto prev = std::prev(next);
+      if (prev->second >= start) {  // overlaps or abuts on the left
+        if (prev->second >= end) return;
+        start = prev->first;
+        end = std::max(end, prev->second);
+        next = m_.erase(prev);
+      }
+    }
+    while (next != m_.end() && next->first <= end) {  // swallow to the right
+      end = std::max(end, next->second);
+      next = m_.erase(next);
+    }
+    m_.emplace(start, end);
+  }
+
+  /// Removes [start, end) from the set, splitting intervals as needed.
+  void erase(std::int64_t start, std::int64_t end) {
+    if (start >= end) return;
+    auto it = m_.upper_bound(start);
+    if (it != m_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > start) {
+        const std::int64_t prev_end = prev->second;
+        prev->second = start;  // keep the left remainder
+        if (prev->second == prev->first) m_.erase(prev);
+        if (prev_end > end) {  // the erased range was strictly inside
+          m_.emplace(end, prev_end);
+          return;
+        }
+      }
+    }
+    it = m_.lower_bound(start);
+    while (it != m_.end() && it->first < end) {
+      if (it->second > end) {  // keep the right remainder
+        m_.emplace(end, it->second);
+        m_.erase(it);
+        return;
+      }
+      it = m_.erase(it);
+    }
+  }
+
+  /// Drops all coverage below `bound` (cumulative-ACK pruning).
+  void erase_below(std::int64_t bound) {
+    auto it = m_.begin();
+    while (it != m_.end() && it->second <= bound) it = m_.erase(it);
+    if (it != m_.end() && it->first < bound) {
+      const std::int64_t end = it->second;
+      m_.erase(it);
+      m_.emplace(bound, end);
+    }
+  }
+
+  bool contains(std::int64_t s) const {
+    auto it = m_.upper_bound(s);
+    if (it == m_.begin()) return false;
+    return std::prev(it)->second > s;
+  }
+
+  /// True if any covered value lies in [start, end).
+  bool overlaps(std::int64_t start, std::int64_t end) const {
+    if (start >= end) return false;
+    auto it = m_.upper_bound(start);
+    if (it != m_.begin() && std::prev(it)->second > start) return true;
+    return it != m_.end() && it->first < end;
+  }
+
+  /// Lowest value in [from, to) that is NOT covered; `to` if all covered.
+  std::int64_t first_missing(std::int64_t from, std::int64_t to) const {
+    auto it = m_.upper_bound(from);
+    if (it != m_.begin() && std::prev(it)->second > from) {
+      from = std::prev(it)->second;  // `from` is covered; skip its interval
+    }
+    while (from < to && it != m_.end() && it->first == from) {
+      from = it->second;
+      ++it;
+    }
+    return from < to ? from : to;
+  }
+
+  /// One past the highest covered value; 0 when empty.
+  std::int64_t upper_bound_value() const {
+    return m_.empty() ? 0 : m_.rbegin()->second;
+  }
+
+  bool empty() const { return m_.empty(); }
+  void clear() { m_.clear(); }
+  std::size_t interval_count() const { return m_.size(); }
+
+  /// Total number of covered sequence numbers.
+  std::int64_t covered_count() const {
+    std::int64_t n = 0;
+    for (const auto& [s, e] : m_) n += e - s;
+    return n;
+  }
+
+  /// Disjoint, sorted intervals for iteration.
+  const std::map<std::int64_t, std::int64_t>& intervals() const { return m_; }
+
+ private:
+  std::map<std::int64_t, std::int64_t> m_;  ///< start -> end, disjoint.
+};
+
+}  // namespace mltcp::tcp

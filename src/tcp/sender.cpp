@@ -33,8 +33,10 @@ void TcpSender::send_message(std::int64_t bytes,
       sim_.now() - last_activity_ > rtt_.rto()) {
     cc_->on_idle_restart(sim_.now());
   }
+  const std::int64_t start_seq = send_limit_;
   send_limit_ += segments_for_bytes(bytes);
-  messages_.push_back(Message{send_limit_, std::move(on_complete)});
+  messages_.push_back(
+      Message{start_seq, send_limit_, bytes, std::move(on_complete)});
   try_send();
 }
 
@@ -48,7 +50,9 @@ void TcpSender::try_send() {
     int burst = cfg_.max_burst;
     while (next_seq_ < send_limit_ && inflight() < usable_window() &&
            burst-- > 0) {
-      send_segment(next_seq_, /*retransmission=*/false);
+      // After an RTO rewind next_seq_ revisits already-sent segments; those
+      // are retransmissions (Karn must not sample their RTT).
+      send_segment(next_seq_, /*retransmission=*/next_seq_ <= max_seq_sent_);
       ++next_seq_;
     }
     if (inflight() > 0 && rto_event_ == sim::kInvalidEventId) arm_rto();
@@ -73,10 +77,27 @@ void TcpSender::try_send() {
           static_cast<double>(rtt_.srtt()) / std::max(cc_->cwnd(), 1.0));
       next_pace_time_ = sim_.now() + interval;
     }
-    send_segment(next_seq_, /*retransmission=*/false);
+    send_segment(next_seq_, /*retransmission=*/next_seq_ <= max_seq_sent_);
     ++next_seq_;
   }
   if (inflight() > 0 && rto_event_ == sim::kInvalidEventId) arm_rto();
+}
+
+std::int32_t TcpSender::payload_for_seq(std::int64_t seq) const {
+  // Unacknowledged segments always belong to a message still queued (a
+  // message is popped only once fully acked), so the linear scan touches at
+  // most the handful of in-flight messages.
+  for (const Message& m : messages_) {
+    if (seq >= m.end_seq) continue;
+    if (seq < m.start_seq) break;
+    if (seq == m.end_seq - 1) {
+      const auto full = static_cast<std::int64_t>(payload_per_segment());
+      return static_cast<std::int32_t>(m.bytes -
+                                       (m.end_seq - m.start_seq - 1) * full);
+    }
+    return payload_per_segment();
+  }
+  return payload_per_segment();
 }
 
 void TcpSender::send_segment(std::int64_t seq, bool retransmission) {
@@ -85,7 +106,9 @@ void TcpSender::send_segment(std::int64_t seq, bool retransmission) {
   pkt.dst = dst_;
   pkt.type = net::PacketType::kData;
   pkt.seq = seq;
-  pkt.size_bytes = cfg_.mtu;
+  // The final segment of a message carries only the remainder, so wire-byte
+  // accounting matches the application bytes instead of padding to the MTU.
+  pkt.size_bytes = payload_for_seq(seq) + net::kHeaderBytes;
   pkt.ecn_capable = cc_->wants_ecn();
   pkt.tx_timestamp = sim_.now();
   if (cfg_.pfabric_priority) {
@@ -93,7 +116,11 @@ void TcpSender::send_segment(std::int64_t seq, bool retransmission) {
     pkt.priority = (send_limit_ - snd_una_) * cfg_.mtu;
   }
   ++stats_.data_packets_sent;
-  if (retransmission) ++stats_.retransmissions;
+  if (retransmission) {
+    ++stats_.retransmissions;
+    karn_rexmit_.insert(seq, seq + 1);
+  }
+  max_seq_sent_ = std::max(max_seq_sent_, seq);
   last_activity_ = sim_.now();
   local_.send(pkt);
 }
@@ -112,18 +139,26 @@ void TcpSender::on_packet(const net::Packet& pkt) {
 void TcpSender::absorb_sack(const net::Packet& pkt) {
   for (const auto& block : pkt.sack) {
     if (block.empty()) continue;
-    for (std::int64_t s = std::max(block.start, snd_una_);
-         s < std::min(block.end, next_seq_); ++s) {
-      sacked_.insert(s);
-    }
+    sacked_.insert(std::max(block.start, snd_una_),
+                   std::min(block.end, next_seq_));
   }
 }
 
 std::int64_t TcpSender::next_sack_hole() const {
   if (sacked_.empty()) return -1;
-  const std::int64_t highest = *sacked_.rbegin();
-  for (std::int64_t s = snd_una_; s < highest; ++s) {
-    if (sacked_.count(s) == 0 && retransmitted_.count(s) == 0) return s;
+  // Walk the gaps between SACKed intervals below the highest SACKed
+  // segment; within each gap, skip what this epoch already retransmitted.
+  // O(holes) per call instead of the old O(window) rescan from snd_una_.
+  const std::int64_t highest = sacked_.upper_bound_value() - 1;
+  std::int64_t gap_start = snd_una_;
+  for (const auto& [start, end] : sacked_.intervals()) {
+    const std::int64_t gap_end = std::min(start, highest);
+    if (gap_start < gap_end) {
+      const std::int64_t hole = rexmit_epoch_.first_missing(gap_start, gap_end);
+      if (hole < gap_end) return hole;
+    }
+    gap_start = std::max(gap_start, end);
+    if (gap_start >= highest) break;
   }
   return -1;
 }
@@ -132,22 +167,32 @@ void TcpSender::retransmit_sack_holes(int budget) {
   while (budget-- > 0) {
     const std::int64_t hole = next_sack_hole();
     if (hole < 0) return;
-    retransmitted_.insert(hole);
+    rexmit_epoch_.insert(hole, hole + 1);
     send_segment(hole, /*retransmission=*/true);
   }
 }
 
 void TcpSender::handle_new_ack(const net::Packet& pkt) {
+  const std::int64_t prev_una = snd_una_;
   const auto num_acked = static_cast<int>(pkt.seq - snd_una_);
   snd_una_ = pkt.seq;
   stats_.segments_acked += num_acked;
   rtt_.reset_backoff();
 
+  // Karn's algorithm: if the newly acknowledged range contains a segment
+  // that was retransmitted, the echoed timestamp may belong to either the
+  // original or the retransmission — feeding it to the estimator right
+  // after a loss corrupts srtt/RTO. Skip the sample.
   sim::SimTime rtt_sample = -1;
   if (pkt.tx_timestamp > 0 && sim_.now() >= pkt.tx_timestamp) {
-    rtt_sample = sim_.now() - pkt.tx_timestamp;
-    rtt_.add_sample(rtt_sample);
+    if (karn_rexmit_.overlaps(prev_una, pkt.seq)) {
+      ++stats_.rtt_samples_karn_skipped;
+    } else {
+      rtt_sample = sim_.now() - pkt.tx_timestamp;
+      rtt_.add_sample(rtt_sample);
+    }
   }
+  karn_rexmit_.erase_below(snd_una_);
 
   AckContext ctx;
   ctx.now = sim_.now();
@@ -158,22 +203,21 @@ void TcpSender::handle_new_ack(const net::Packet& pkt) {
 
   // Cumulatively acknowledged segments leave the scoreboard.
   if (cfg_.use_sack) {
-    sacked_.erase(sacked_.begin(), sacked_.lower_bound(snd_una_));
-    retransmitted_.erase(retransmitted_.begin(),
-                         retransmitted_.lower_bound(snd_una_));
+    sacked_.erase_below(snd_una_);
+    rexmit_epoch_.erase_below(snd_una_);
   }
 
   if (in_recovery_) {
     if (snd_una_ >= recover_) {
       in_recovery_ = false;
       dup_acks_ = 0;
-      retransmitted_.clear();
+      rexmit_epoch_.clear();
       cc_->on_ack(ctx);
     } else if (cfg_.use_sack) {
       // Partial ACK with SACK: the new front hole was either never sent or
       // its retransmission was itself lost — make it eligible again, then
       // plug the reported holes.
-      retransmitted_.erase(snd_una_);
+      rexmit_epoch_.erase(snd_una_, snd_una_ + 1);
       retransmit_sack_holes(2);
     } else {
       // Partial ACK (NewReno): the next hole is lost too; retransmit it.
@@ -198,7 +242,7 @@ void TcpSender::handle_dup_ack() {
     recover_ = next_seq_;
     ++stats_.fast_retransmits;
     cc_->on_loss(sim_.now());
-    retransmitted_.insert(snd_una_);
+    rexmit_epoch_.insert(snd_una_, snd_una_ + 1);
     send_segment(snd_una_, /*retransmission=*/true);
     cancel_rto();
     arm_rto();
@@ -236,7 +280,7 @@ void TcpSender::on_rto() {
   rtt_.backoff();
   in_recovery_ = false;
   dup_acks_ = 0;
-  retransmitted_.clear();
+  rexmit_epoch_.clear();
   sacked_.clear();  // conservative: rebuild the scoreboard after an RTO
   // Go-back-N: rewind and resend from the first unacknowledged segment.
   next_seq_ = snd_una_;

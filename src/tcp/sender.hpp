@@ -4,12 +4,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <set>
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/cong_control.hpp"
+#include "tcp/interval_set.hpp"
 #include "tcp/rtt_estimator.hpp"
 
 namespace mltcp::tcp {
@@ -46,6 +46,9 @@ struct SenderStats {
   std::int64_t timeouts = 0;
   std::int64_t messages_completed = 0;
   std::int64_t segments_acked = 0;
+  /// RTT samples discarded because the ACK covered a retransmitted segment
+  /// (Karn's algorithm: the echoed timestamp is ambiguous).
+  std::int64_t rtt_samples_karn_skipped = 0;
 };
 
 /// TCP send side: sliding window over segment sequence numbers, duplicate-ACK
@@ -98,6 +101,9 @@ class TcpSender {
  private:
   void try_send();
   void send_segment(std::int64_t seq, bool retransmission);
+  /// Payload bytes segment `seq` carries: a full MSS except for the final
+  /// segment of a message, which carries only the message's remainder.
+  std::int32_t payload_for_seq(std::int64_t seq) const;
   void handle_new_ack(const net::Packet& pkt);
   void handle_dup_ack();
   void absorb_sack(const net::Packet& pkt);
@@ -120,7 +126,9 @@ class TcpSender {
   RttEstimator rtt_;
 
   struct Message {
+    std::int64_t start_seq = 0;
     std::int64_t end_seq = 0;
+    std::int64_t bytes = 0;
     CompletionCallback on_complete;
   };
   std::deque<Message> messages_;
@@ -128,6 +136,7 @@ class TcpSender {
   std::int64_t send_limit_ = 0;  ///< One past the last segment to send.
   std::int64_t next_seq_ = 0;
   std::int64_t snd_una_ = 0;
+  std::int64_t max_seq_sent_ = -1;  ///< Highest segment ever transmitted.
   int dup_acks_ = 0;
   bool in_recovery_ = false;
   std::int64_t recover_ = 0;
@@ -135,8 +144,14 @@ class TcpSender {
   sim::SimTime last_activity_ = -1;  ///< Last send or ACK; -1 = never.
 
   // SACK scoreboard (only populated when cfg_.use_sack).
-  std::set<std::int64_t> sacked_;
-  std::set<std::int64_t> retransmitted_;  ///< Once per recovery epoch.
+  IntervalSet sacked_;
+  /// Holes already retransmitted this recovery epoch (don't resend them on
+  /// every dupACK); cleared when recovery ends.
+  IntervalSet rexmit_epoch_;
+  /// Segments retransmitted and not yet cumulatively acknowledged — an ACK
+  /// covering any of them yields an ambiguous (Karn) RTT timestamp.
+  /// Maintained in every mode, not just SACK.
+  IntervalSet karn_rexmit_;
 
   // Pacing state (only used when cfg_.pacing).
   sim::SimTime next_pace_time_ = 0;
