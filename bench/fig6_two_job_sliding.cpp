@@ -12,10 +12,13 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
+#include "analysis/flow_monitor.hpp"
 #include "analysis/metrics.hpp"
 #include "bench_common.hpp"
+#include "runner/trace.hpp"
 
 namespace {
 
@@ -58,8 +61,25 @@ SweepResult run(double start_fraction, std::size_t run_index,
         bench::bottleneck_binner_for_job(*exp, j, sim::milliseconds(100)));
   }
 
+  // Every run exports a Chrome trace (job phase slices, loss events, MLTCP
+  // milestones, sampled per-flow cwnd/gain) keyed by its sweep index —
+  // open results/fig6_sliding.run0.trace.json in ui.perfetto.dev.
+  runner::RunTrace trace(
+      runner::trace_path(bench::results_dir(), "fig6_sliding", run_index),
+      telemetry::Category::kJob | telemetry::Category::kFlow |
+          telemetry::Category::kTcp | telemetry::Category::kMltcp);
+  trace.attach(exp->sim);
+  std::vector<std::unique_ptr<analysis::FlowMonitor>> monitors;
+  for (workload::Job* job : jobs) {
+    for (const auto& binding : job->flows()) {
+      monitors.push_back(std::make_unique<analysis::FlowMonitor>(
+          exp->sim, binding.flow->sender(), sim::milliseconds(50)));
+    }
+  }
+
   exp->cluster->start_all();
   exp->sim.run_until(sim::seconds(70));
+  trace.finish();
 
   SweepResult res;
   res.detail.addf(

@@ -7,11 +7,14 @@
 //   ./build/examples/quickstart
 
 #include <cstdio>
+#include <memory>
 
 #include "analysis/metrics.hpp"
 #include "core/mltcp.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/tracer.hpp"
 #include "workload/cluster.hpp"
 #include "workload/collective.hpp"
 #include "workload/profiles.hpp"
@@ -20,12 +23,26 @@ using namespace mltcp;
 
 namespace {
 
-double run(const tcp::CcFactory& cc, const char* label) {
+double run(const tcp::CcFactory& cc, const char* label,
+           const char* trace_path = nullptr) {
   // 1. A simulated dumbbell: hosts on each side of a 1 Gbps bottleneck.
   sim::Simulator sim;
   net::DumbbellConfig topo_cfg;
   topo_cfg.hosts_per_side = 3;
   net::Dumbbell d = net::make_dumbbell(sim, topo_cfg);
+
+  // Optional tracing: job phase slices + loss events + MLTCP milestones,
+  // exported in the Chrome trace-event format.
+  std::unique_ptr<telemetry::ChromeTraceSink> trace_sink;
+  telemetry::Tracer tracer(telemetry::Tracer::Config{
+      telemetry::Category::kJob | telemetry::Category::kTcp |
+          telemetry::Category::kMltcp,
+      0});
+  if (trace_path != nullptr) {
+    trace_sink = std::make_unique<telemetry::ChromeTraceSink>(trace_path);
+    tracer.add_sink(trace_sink.get());
+    sim.set_tracer(&tracer);
+  }
 
   // 2. Three periodic training jobs, four parallel streams each (as NCCL
   //    would open), all crossing the bottleneck.
@@ -51,6 +68,7 @@ double run(const tcp::CcFactory& cc, const char* label) {
   // 3. Run and report converged iteration times.
   cluster.start_all();
   sim.run_until(sim::seconds(120));
+  if (trace_sink != nullptr) trace_sink->finish();
 
   std::printf("\n-- %s --\n", label);
   double worst_tail = 0.0;
@@ -79,11 +97,14 @@ int main() {
   // Per-flow TOTAL_BYTES: each of the 4 streams carries a quarter.
   mltcp_cfg.tracker.total_bytes = workload::comm_bytes(gpt2, 1e9) / 4;
   mltcp_cfg.tracker.comp_time = workload::compute_time(gpt2) / 2;
+  const char* trace_path = "quickstart.trace.json";
   const double mltcp_tail =
-      run(core::mltcp_reno_factory(mltcp_cfg), "MLTCP-Reno");
+      run(core::mltcp_reno_factory(mltcp_cfg), "MLTCP-Reno", trace_path);
 
   std::printf("\nconverged iteration time: reno %.3fs vs mltcp %.3fs "
               "(%.2fx speedup)\n",
               reno_tail, mltcp_tail, reno_tail / mltcp_tail);
+  std::printf("wrote %s -- open it in ui.perfetto.dev to see the jobs "
+              "slide into interleaved comm/compute slices.\n", trace_path);
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "telemetry/tracer.hpp"
+
 namespace mltcp::analysis {
 
 FlowMonitor::FlowMonitor(sim::Simulator& simulator,
@@ -32,6 +34,14 @@ void FlowMonitor::sample() {
   s.inflight = sender_.inflight();
   s.segments_acked = sender_.stats().segments_acked;
   samples_.push_back(s);
+  // Each sample doubles as a pair of counter events, so any run with a
+  // FlowMonitor and Category::kFlow gets per-flow cwnd/gain tracks in its
+  // Chrome trace for free.
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kFlow)) {
+    const auto track = telemetry::track_flow(sender_.flow());
+    t->counter(telemetry::Category::kFlow, "cwnd", s.when, track, s.cwnd);
+    t->counter(telemetry::Category::kFlow, "gain", s.when, track, s.gain);
+  }
   event_ = sim_.schedule(interval_, [this] { sample(); });
 }
 

@@ -1,10 +1,49 @@
 #include "core/mltcp.hpp"
 
+#include <algorithm>
+
+#include "telemetry/tracer.hpp"
+
 namespace mltcp::core {
 
 MltcpGain::MltcpGain(std::shared_ptr<const AggressivenessFunction> f,
                      TrackerConfig tracker_cfg)
     : f_(std::move(f)), tracker_(tracker_cfg) {}
+
+void MltcpGain::bind_telemetry(sim::Simulator* sim, std::int64_t flow_id) {
+  sim_ = sim;
+  track_ = telemetry::track_flow(flow_id);
+}
+
+void MltcpGain::on_ack(const tcp::AckContext& ctx) {
+  const int prev_iters = tracker_.iterations_seen();
+  tracker_.on_ack(ctx.num_acked, ctx.now);
+
+  if (sim_ == nullptr) return;
+  auto* t = telemetry::tracer_for(*sim_, telemetry::Category::kMltcp);
+  if (t == nullptr) return;
+
+  const bool boundary = tracker_.iterations_seen() != prev_iters;
+  if (boundary) {
+    t->instant(telemetry::Category::kMltcp, "iteration_boundary", ctx.now,
+               track_, "iterations",
+               static_cast<double>(tracker_.iterations_seen()), "bytes_sent",
+               static_cast<double>(tracker_.bytes_sent()));
+  }
+
+  // Milestone sampling: emit the ratio/gain counters whenever bytes_ratio
+  // crosses into a new quarter (or wraps at a boundary) instead of per ACK.
+  const double ratio = tracker_.bytes_ratio();
+  const int quarter =
+      std::min(4, std::max(0, static_cast<int>(ratio * 4.0)));
+  if (boundary || quarter != last_quarter_) {
+    last_quarter_ = quarter;
+    t->counter(telemetry::Category::kMltcp, "bytes_ratio", ctx.now, track_,
+               ratio);
+    t->counter(telemetry::Category::kMltcp, "gain", ctx.now, track_,
+               (*f_)(ratio));
+  }
+}
 
 std::shared_ptr<const AggressivenessFunction> make_linear_function(
     const MltcpConfig& cfg) {

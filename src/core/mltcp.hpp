@@ -29,13 +29,13 @@ class MltcpGain : public tcp::WindowGain {
   MltcpGain(std::shared_ptr<const AggressivenessFunction> f,
             TrackerConfig tracker_cfg);
 
-  void on_ack(const tcp::AckContext& ctx) override {
-    tracker_.on_ack(ctx.num_acked, ctx.now);
-  }
+  void on_ack(const tcp::AckContext& ctx) override;
 
   double gain() const override { return (*f_)(tracker_.bytes_ratio()); }
 
   std::string name() const override { return f_->name(); }
+
+  void bind_telemetry(sim::Simulator* sim, std::int64_t flow_id) override;
 
   const IterationTracker& tracker() const { return tracker_; }
   const AggressivenessFunction& function() const { return *f_; }
@@ -43,6 +43,13 @@ class MltcpGain : public tcp::WindowGain {
  private:
   std::shared_ptr<const AggressivenessFunction> f_;
   IterationTracker tracker_;
+
+  // Telemetry context (Category::kMltcp): iteration boundaries are emitted
+  // as instants, bytes_ratio/gain as counters on quarter-ratio milestones so
+  // the trace stays light at full ACK rate.
+  sim::Simulator* sim_ = nullptr;
+  std::uint64_t track_ = 0;
+  int last_quarter_ = 0;
 };
 
 /// Builds the linear F of Eq. 2 from an MltcpConfig.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/node.hpp"
+#include "telemetry/tracer.hpp"
 
 namespace mltcp::net {
 
@@ -15,10 +16,12 @@ Link::Link(sim::Simulator& simulator, std::string name, double rate_bps,
       rate_bps_(rate_bps),
       prop_delay_(propagation_delay),
       queue_(std::move(queue)),
-      dst_(destination) {
+      dst_(destination),
+      track_(telemetry::track_link(simulator.allocate_trace_ordinal())) {
   assert(rate_bps_ > 0.0);
   assert(queue_ != nullptr);
   assert(dst_ != nullptr);
+  queue_->set_trace_context(&sim_, name_.c_str(), track_);
 }
 
 void Link::send(Packet pkt) {
@@ -39,6 +42,10 @@ void Link::start_transmission(Packet pkt) {
   busy_ = true;
   const sim::SimTime tx = sim::transmission_time(pkt.size_bytes, rate_bps_);
   for (const auto& obs : observers_) obs(pkt, sim_.now());
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kLink)) {
+    t->counter(telemetry::Category::kLink, "backlog_bytes", sim_.now(), track_,
+               static_cast<double>(queue_->backlog_bytes()));
+  }
   busy_time_ += tx;
   sim_.schedule(tx, [this, pkt] { on_transmission_done(pkt); });
 }

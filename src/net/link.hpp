@@ -49,6 +49,9 @@ class Link {
   /// Fraction of busy time over [0, now]; useful for utilization reports.
   double utilization(sim::SimTime now) const;
 
+  /// Telemetry track id (track_link namespace) shared with the queue.
+  std::uint64_t trace_track() const { return track_; }
+
  private:
   void start_transmission(Packet pkt);
   void on_transmission_done(Packet pkt);
@@ -59,6 +62,7 @@ class Link {
   sim::SimTime prop_delay_;
   std::unique_ptr<QueueDiscipline> queue_;
   Node* dst_;
+  std::uint64_t track_;
 
   bool busy_ = false;
   std::int64_t bytes_tx_ = 0;

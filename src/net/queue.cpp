@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "telemetry/tracer.hpp"
+
 namespace mltcp::net {
 
 namespace {
@@ -12,6 +14,26 @@ void note_backlog(QueueStats& stats, std::int64_t backlog) {
 }
 }  // namespace
 
+void QueueDiscipline::trace_drop(const Packet& pkt, sim::SimTime now) {
+  if (trace_sim_ == nullptr) return;
+  if (auto* t = telemetry::tracer_for(*trace_sim_,
+                                      telemetry::Category::kQueue)) {
+    t->instant(telemetry::Category::kQueue, "drop", now, trace_track_, "flow",
+               static_cast<double>(pkt.flow), "bytes",
+               static_cast<double>(pkt.size_bytes));
+  }
+}
+
+void QueueDiscipline::trace_mark(const Packet& pkt, sim::SimTime now) {
+  if (trace_sim_ == nullptr) return;
+  if (auto* t = telemetry::tracer_for(*trace_sim_,
+                                      telemetry::Category::kQueue)) {
+    t->instant(telemetry::Category::kQueue, "ecn_mark", now, trace_track_,
+               "flow", static_cast<double>(pkt.flow), "backlog",
+               static_cast<double>(backlog_bytes()));
+  }
+}
+
 // ---------------------------------------------------------------- DropTail
 
 DropTailQueue::DropTailQueue(std::int64_t capacity_bytes)
@@ -19,9 +41,10 @@ DropTailQueue::DropTailQueue(std::int64_t capacity_bytes)
   assert(capacity_bytes > 0);
 }
 
-bool DropTailQueue::enqueue(Packet pkt, sim::SimTime /*now*/) {
+bool DropTailQueue::enqueue(Packet pkt, sim::SimTime now) {
   if (backlog_ + pkt.size_bytes > capacity_) {
     ++stats_.dropped_packets;
+    trace_drop(pkt, now);
     return false;
   }
   backlog_ += pkt.size_bytes;
@@ -48,15 +71,17 @@ EcnThresholdQueue::EcnThresholdQueue(std::int64_t capacity_bytes,
   assert(mark_threshold_bytes > 0 && mark_threshold_bytes <= capacity_bytes);
 }
 
-bool EcnThresholdQueue::enqueue(Packet pkt, sim::SimTime /*now*/) {
+bool EcnThresholdQueue::enqueue(Packet pkt, sim::SimTime now) {
   if (backlog_ + pkt.size_bytes > capacity_) {
     ++stats_.dropped_packets;
+    trace_drop(pkt, now);
     return false;
   }
   // DCTCP marks based on the instantaneous queue occupancy seen on arrival.
   if (pkt.ecn_capable && backlog_ >= mark_threshold_) {
     pkt.ce = true;
     ++stats_.marked_packets;
+    trace_mark(pkt, now);
   }
   backlog_ += pkt.size_bytes;
   q_.push_back(pkt);
@@ -80,21 +105,24 @@ PfabricPriorityQueue::PfabricPriorityQueue(std::int64_t capacity_bytes)
   assert(capacity_bytes > 0);
 }
 
-bool PfabricPriorityQueue::enqueue(Packet pkt, sim::SimTime /*now*/) {
+bool PfabricPriorityQueue::enqueue(Packet pkt, sim::SimTime now) {
   while (backlog_ + pkt.size_bytes > capacity_ && !q_.empty()) {
     // Evict the lowest-priority resident (largest remaining bytes) — but only
     // if the arrival beats it; otherwise drop the arrival.
     auto worst = std::prev(q_.end());
     if (worst->pkt.priority <= pkt.priority) {
       ++stats_.dropped_packets;
+      trace_drop(pkt, now);
       return false;
     }
     backlog_ -= worst->pkt.size_bytes;
-    q_.erase(worst);
     ++stats_.dropped_packets;
+    trace_drop(worst->pkt, now);
+    q_.erase(worst);
   }
   if (backlog_ + pkt.size_bytes > capacity_) {
     ++stats_.dropped_packets;
+    trace_drop(pkt, now);
     return false;
   }
   backlog_ += pkt.size_bytes;
@@ -120,9 +148,10 @@ DrrQueue::DrrQueue(std::int64_t capacity_bytes, std::int64_t quantum_bytes)
   assert(capacity_bytes > 0 && quantum_bytes > 0);
 }
 
-bool DrrQueue::enqueue(Packet pkt, sim::SimTime /*now*/) {
+bool DrrQueue::enqueue(Packet pkt, sim::SimTime now) {
   if (backlog_ + pkt.size_bytes > capacity_) {
     ++stats_.dropped_packets;
+    trace_drop(pkt, now);
     return false;
   }
   auto [it, inserted] = flows_.try_emplace(pkt.flow);
@@ -221,14 +250,17 @@ bool RedQueue::enqueue(Packet pkt, sim::SimTime now) {
     if (cfg_.mark_instead_of_drop && pkt.ecn_capable) {
       pkt.ce = true;
       ++stats_.marked_packets;
+      trace_mark(pkt, now);
     } else {
       ++stats_.dropped_packets;
+      trace_drop(pkt, now);
       return false;
     }
   }
 
   if (backlog_ + pkt.size_bytes > cfg_.capacity_bytes) {
     ++stats_.dropped_packets;
+    trace_drop(pkt, now);
     return false;
   }
   backlog_ += pkt.size_bytes;
@@ -270,6 +302,7 @@ bool RandomDropQueue::enqueue(Packet pkt, sim::SimTime now) {
   if (pkt.type == PacketType::kData && u < p_) {
     ++random_drops_;
     ++stats_.dropped_packets;
+    trace_drop(pkt, now);
     return false;
   }
   // Mirror the inner queue's outcome so this decorator's stats cover both
@@ -285,6 +318,14 @@ bool RandomDropQueue::enqueue(Packet pkt, sim::SimTime now) {
 
 std::optional<Packet> RandomDropQueue::dequeue(sim::SimTime now) {
   return inner_->dequeue(now);
+}
+
+void RandomDropQueue::set_trace_context(sim::Simulator* sim, const char* name,
+                                        std::uint64_t track) {
+  QueueDiscipline::set_trace_context(sim, name, track);
+  // Congestion drops happen inside the wrapped queue; give it the same
+  // identity so they are traced too.
+  inner_->set_trace_context(sim, name, track);
 }
 
 void RandomDropQueue::set_drop_probability(double p) {

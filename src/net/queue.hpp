@@ -11,6 +11,10 @@
 #include "net/packet.hpp"
 #include "sim/time.hpp"
 
+namespace mltcp::sim {
+class Simulator;
+}
+
 namespace mltcp::net {
 
 /// Statistics every queue discipline keeps.
@@ -41,8 +45,27 @@ class QueueDiscipline {
 
   const QueueStats& stats() const { return stats_; }
 
+  /// Telemetry wiring, set by the owning Link: drop/mark decisions are
+  /// traced (Category::kQueue) with the link's identity. `name` must
+  /// outlive the queue; decorators forward the context to their inner
+  /// queue. A null simulator (the default) disables tracing.
+  virtual void set_trace_context(sim::Simulator* sim, const char* name,
+                                 std::uint64_t track) {
+    trace_sim_ = sim;
+    trace_name_ = name;
+    trace_track_ = track;
+  }
+
  protected:
+  /// Emit a Category::kQueue event for a dropped / ECN-marked packet.
+  /// Called next to the stats_ increments; no-ops without a tracer.
+  void trace_drop(const Packet& pkt, sim::SimTime now);
+  void trace_mark(const Packet& pkt, sim::SimTime now);
+
   QueueStats stats_;
+  sim::Simulator* trace_sim_ = nullptr;
+  const char* trace_name_ = "";
+  std::uint64_t trace_track_ = 0;
 };
 
 /// Factory used by topology builders so each link gets its own queue.
@@ -212,6 +235,11 @@ class RandomDropQueue : public QueueDiscipline {
   }
 
   std::int64_t random_drops() const { return random_drops_; }
+
+  /// Forwards the context to the wrapped queue so its congestion drops are
+  /// traced under the same link identity.
+  void set_trace_context(sim::Simulator* sim, const char* name,
+                         std::uint64_t track) override;
 
   /// Changes the loss probability mid-run (e.g. to emulate a transient
   /// blackout or a flapping link).

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/trace.hpp"
+
 namespace mltcp::runner {
 
 namespace {
@@ -49,13 +51,13 @@ std::string CsvSink::serialize() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (std::size_t i = 0; i < header_.size(); ++i) {
-    out += header_[i];
+    out += sim::csv_escape(header_[i]);
     out += i + 1 < header_.size() ? "," : "\n";
   }
   for (const auto& [run, rows] : rows_by_run_) {
     for (const auto& row : rows) {
       for (std::size_t i = 0; i < row.size(); ++i) {
-        out += row[i];
+        out += sim::csv_escape(row[i]);
         out += i + 1 < row.size() ? "," : "\n";
       }
       if (row.empty()) out += "\n";

@@ -6,6 +6,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
+namespace mltcp::telemetry {
+class Tracer;
+}
+
 namespace mltcp::sim {
 
 /// Owns the simulation clock and event queue. All model components hold a
@@ -45,11 +49,24 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Telemetry hook: components reach the tracer of their simulation through
+  /// here (see telemetry::tracer_for). The Simulator only stores the pointer
+  /// — it never dereferences it — so sim/ stays free of telemetry/ code.
+  void set_tracer(telemetry::Tracer* tracer) { tracer_ = tracer; }
+  telemetry::Tracer* tracer() const { return tracer_; }
+
+  /// Hands out small per-simulation ordinals for telemetry track ids (jobs,
+  /// links). Allocation follows construction order, which is deterministic,
+  /// so trace output is reproducible across runs and thread counts.
+  std::uint32_t allocate_trace_ordinal() { return trace_ordinals_++; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  telemetry::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_ordinals_ = 0;
 };
 
 }  // namespace mltcp::sim

@@ -22,16 +22,24 @@ double RateBinner::rate_bps(std::size_t i) const {
   return static_cast<double>(bins_[i]) * 8.0 / to_seconds(bin_width_);
 }
 
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header) {
   f_ = std::fopen(path.c_str(), "w");
   if (f_ == nullptr) {
     throw std::runtime_error("CsvWriter: cannot open " + path);
   }
-  for (std::size_t i = 0; i < header.size(); ++i) {
-    std::fprintf(f_, "%s%s", header[i].c_str(),
-                 i + 1 < header.size() ? "," : "\n");
-  }
+  row(header);
 }
 
 CsvWriter::~CsvWriter() {
@@ -46,7 +54,7 @@ void CsvWriter::row(const std::vector<double>& values) {
 
 void CsvWriter::row(const std::vector<std::string>& values) {
   for (std::size_t i = 0; i < values.size(); ++i) {
-    std::fprintf(f_, "%s%s", values[i].c_str(),
+    std::fprintf(f_, "%s%s", csv_escape(values[i]).c_str(),
                  i + 1 < values.size() ? "," : "\n");
   }
 }

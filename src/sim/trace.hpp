@@ -42,8 +42,14 @@ class RateBinner {
   std::int64_t total_bytes_ = 0;
 };
 
+/// RFC 4180 field quoting: returns `field` wrapped in double quotes (with
+/// embedded quotes doubled) when it contains a comma, quote, CR or LF;
+/// returns it unchanged otherwise.
+std::string csv_escape(const std::string& field);
+
 /// Minimal CSV writer for experiment output. Values are written row by row;
-/// the header is written on construction.
+/// the header is written on construction. String fields are quoted per
+/// RFC 4180 when they contain delimiters.
 class CsvWriter {
  public:
   /// Opens `path` for writing and emits the header row. Throws

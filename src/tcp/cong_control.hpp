@@ -6,6 +6,10 @@
 
 #include "sim/time.hpp"
 
+namespace mltcp::sim {
+class Simulator;
+}
+
 namespace mltcp::tcp {
 
 /// Everything a congestion controller may want to know about one
@@ -36,6 +40,12 @@ class WindowGain {
   virtual double gain() const { return 1.0; }
 
   virtual std::string name() const { return "unit"; }
+
+  /// Called by the owning TcpSender so gain implementations can emit
+  /// telemetry under the flow's identity (MLTCP traces bytes_ratio
+  /// milestones and iteration boundaries). Default: no telemetry.
+  virtual void bind_telemetry(sim::Simulator* /*sim*/,
+                              std::int64_t /*flow_id*/) {}
 };
 
 /// Window-based congestion control. The controller owns cwnd and ssthresh;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/tracer.hpp"
+
 namespace mltcp::tcp {
 
 TcpSender::TcpSender(sim::Simulator& simulator, net::Host& local,
@@ -17,6 +19,7 @@ TcpSender::TcpSender(sim::Simulator& simulator, net::Host& local,
       rtt_(cfg.min_rto) {
   assert(cc_ != nullptr);
   assert(cfg_.mtu > net::kHeaderBytes);
+  cc_->window_gain().bind_telemetry(&sim_, flow_);
 }
 
 TcpSender::~TcpSender() { cancel_rto(); }
@@ -232,6 +235,13 @@ void TcpSender::handle_new_ack(const net::Packet& pkt) {
   cancel_rto();
   if (inflight() > 0) arm_rto();
 
+  // Per-ACK window sample: very hot, so it hides behind its own category
+  // (kTcpAck) that experiments opt into explicitly.
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kTcpAck)) {
+    t->counter(telemetry::Category::kTcpAck, "cwnd", sim_.now(),
+               telemetry::track_flow(flow_), cc_->cwnd());
+  }
+
   complete_messages();
 }
 
@@ -241,6 +251,11 @@ void TcpSender::handle_dup_ack() {
     in_recovery_ = true;
     recover_ = next_seq_;
     ++stats_.fast_retransmits;
+    if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kTcp)) {
+      t->instant(telemetry::Category::kTcp, "fast_retransmit", sim_.now(),
+                 telemetry::track_flow(flow_), "seq",
+                 static_cast<double>(snd_una_), "cwnd", cc_->cwnd());
+    }
     cc_->on_loss(sim_.now());
     rexmit_epoch_.insert(snd_una_, snd_una_ + 1);
     send_segment(snd_una_, /*retransmission=*/true);
@@ -276,6 +291,12 @@ void TcpSender::on_rto() {
   rto_event_ = sim::kInvalidEventId;
   if (inflight() <= 0) return;
   ++stats_.timeouts;
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kTcp)) {
+    t->instant(telemetry::Category::kTcp, "rto", sim_.now(),
+               telemetry::track_flow(flow_), "rto_us",
+               static_cast<double>(rtt_.rto()) / 1e3, "inflight",
+               static_cast<double>(inflight()));
+  }
   cc_->on_timeout(sim_.now());
   rtt_.backoff();
   in_recovery_ = false;

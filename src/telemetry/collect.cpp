@@ -1,0 +1,77 @@
+#include "telemetry/collect.hpp"
+
+#include "net/link.hpp"
+#include "net/node.hpp"
+#include "net/queue.hpp"
+#include "tcp/sender.hpp"
+#include "workload/cluster.hpp"
+#include "workload/job.hpp"
+
+namespace mltcp::telemetry {
+
+void collect_sender(MetricRegistry& reg, const std::string& prefix,
+                    const tcp::TcpSender& sender) {
+  const tcp::SenderStats& s = sender.stats();
+  reg.counter(prefix + "/data_packets_sent").add(s.data_packets_sent);
+  reg.counter(prefix + "/retransmissions").add(s.retransmissions);
+  reg.counter(prefix + "/fast_retransmits").add(s.fast_retransmits);
+  reg.counter(prefix + "/timeouts").add(s.timeouts);
+  reg.counter(prefix + "/rtt_karn_skipped").add(s.rtt_samples_karn_skipped);
+  reg.counter(prefix + "/segments_acked").add(s.segments_acked);
+  reg.counter(prefix + "/messages_completed").add(s.messages_completed);
+  reg.gauge(prefix + "/cwnd").set(sender.cc().cwnd());
+  reg.gauge(prefix + "/srtt_us")
+      .set(sim::to_microseconds(sender.rtt().srtt()));
+}
+
+void collect_queue(MetricRegistry& reg, const std::string& prefix,
+                   const net::QueueDiscipline& queue) {
+  const net::QueueStats& s = queue.stats();
+  reg.counter(prefix + "/enqueued").add(s.enqueued_packets);
+  reg.counter(prefix + "/drops").add(s.dropped_packets);
+  reg.counter(prefix + "/ecn_marks").add(s.marked_packets);
+  reg.gauge(prefix + "/max_backlog_bytes")
+      .set(static_cast<double>(s.max_backlog_bytes));
+}
+
+void collect_link(MetricRegistry& reg, const std::string& prefix,
+                  const net::Link& link) {
+  reg.counter(prefix + "/bytes_tx").add(link.bytes_transmitted());
+  reg.counter(prefix + "/packets_tx").add(link.packets_transmitted());
+  collect_queue(reg, prefix, link.queue());
+}
+
+void collect_switch(MetricRegistry& reg, const std::string& prefix,
+                    const net::Switch& sw) {
+  reg.counter(prefix + "/forwarded").add(sw.forwarded_packets());
+  reg.counter(prefix + "/routeless_drops").add(sw.routeless_drops());
+}
+
+void collect_host(MetricRegistry& reg, const std::string& prefix,
+                  const net::Host& host) {
+  reg.counter(prefix + "/delivered").add(host.delivered_packets());
+  reg.counter(prefix + "/unclaimed").add(host.unclaimed_packets());
+}
+
+void collect_job(MetricRegistry& reg, const std::string& prefix,
+                 const workload::Job& job) {
+  reg.counter(prefix + "/iterations").add(job.completed_iterations());
+  Histogram& iter = reg.histogram(prefix + "/iter_time_s");
+  for (double t : job.iteration_times_seconds()) iter.observe(t);
+  Histogram& comm = reg.histogram(prefix + "/comm_time_s");
+  for (double t : job.comm_times_seconds()) comm.observe(t);
+}
+
+void collect_cluster(MetricRegistry& reg, const std::string& prefix,
+                     const workload::Cluster& cluster) {
+  for (std::size_t j = 0; j < cluster.job_count(); ++j) {
+    const workload::Job* job = cluster.job(j);
+    collect_job(reg, prefix + "/job/" + job->name(), *job);
+    for (const tcp::TcpFlow* flow : cluster.flows_of(j)) {
+      collect_sender(reg, prefix + "/flow/" + std::to_string(flow->id()),
+                     flow->sender());
+    }
+  }
+}
+
+}  // namespace mltcp::telemetry

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace mltcp::net {
+class QueueDiscipline;
+class Link;
+class Switch;
+class Host;
+}  // namespace mltcp::net
+namespace mltcp::tcp {
+class TcpSender;
+}
+namespace mltcp::workload {
+class Job;
+class Cluster;
+}  // namespace mltcp::workload
+
+namespace mltcp::telemetry {
+
+/// Absorbers for the per-component stats structs scattered across the
+/// codebase (SenderStats, QueueStats, Switch::routeless_drops, ...): each
+/// call copies one component's end-of-run totals into the registry under
+/// `prefix`. Call once per component when the run finishes, then snapshot or
+/// print the registry — the one consolidated view of a run.
+
+/// tcp: <prefix>/{data_packets_sent,retransmissions,fast_retransmits,
+/// timeouts,rtt_karn_skipped,segments_acked,messages_completed,cwnd,srtt_us}
+void collect_sender(MetricRegistry& reg, const std::string& prefix,
+                    const tcp::TcpSender& sender);
+
+/// net: <prefix>/{enqueued,drops,ecn_marks,max_backlog_bytes}
+void collect_queue(MetricRegistry& reg, const std::string& prefix,
+                   const net::QueueDiscipline& queue);
+
+/// net: <prefix>/{bytes_tx,packets_tx} plus the egress queue's counters.
+void collect_link(MetricRegistry& reg, const std::string& prefix,
+                  const net::Link& link);
+
+/// net: <prefix>/{forwarded,routeless_drops}
+void collect_switch(MetricRegistry& reg, const std::string& prefix,
+                    const net::Switch& sw);
+
+/// net: <prefix>/{delivered,unclaimed}
+void collect_host(MetricRegistry& reg, const std::string& prefix,
+                  const net::Host& host);
+
+/// workload: <prefix>/iterations counter plus <prefix>/iter_time_s and
+/// <prefix>/comm_time_s histograms over the job's completed iterations.
+void collect_job(MetricRegistry& reg, const std::string& prefix,
+                 const workload::Job& job);
+
+/// Every job of the cluster (under <prefix>/job/<name>) and every flow's
+/// sender (under <prefix>/flow/<id>).
+void collect_cluster(MetricRegistry& reg, const std::string& prefix,
+                     const workload::Cluster& cluster);
+
+}  // namespace mltcp::telemetry

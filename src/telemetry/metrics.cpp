@@ -1,0 +1,118 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "sim/trace.hpp"
+
+namespace mltcp::telemetry {
+
+// ---------------------------------------------------------------- Histogram
+
+void Histogram::observe(double v) { values_.push_back(v); }
+
+double Histogram::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Histogram::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Histogram::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Histogram::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+// ----------------------------------------------------------- MetricRegistry
+
+namespace {
+
+template <typename T>
+T& get_or_create(std::map<std::string, std::variant<Counter, Gauge, Histogram>>&
+                     metrics,
+                 const std::string& name, const char* kind) {
+  auto [it, inserted] = metrics.try_emplace(name, T{});
+  if (!inserted && !std::holds_alternative<T>(it->second)) {
+    throw std::logic_error("MetricRegistry: '" + name + "' is not a " + kind);
+  }
+  return std::get<T>(it->second);
+}
+
+}  // namespace
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  return get_or_create<Counter>(metrics_, name, "counter");
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  return get_or_create<Gauge>(metrics_, name, "gauge");
+}
+
+Histogram& MetricRegistry::histogram(const std::string& name) {
+  return get_or_create<Histogram>(metrics_, name, "histogram");
+}
+
+std::vector<MetricRegistry::Sample> MetricRegistry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(metrics_.size());
+  // metrics_ is a std::map, so iteration (and thus export order) is sorted.
+  for (const auto& [name, metric] : metrics_) {
+    if (const auto* c = std::get_if<Counter>(&metric)) {
+      out.push_back(Sample{name, static_cast<double>(c->value())});
+    } else if (const auto* g = std::get_if<Gauge>(&metric)) {
+      out.push_back(Sample{name, g->value()});
+    } else if (const auto* h = std::get_if<Histogram>(&metric)) {
+      out.push_back(Sample{name + ".count", static_cast<double>(h->count())});
+      out.push_back(Sample{name + ".min", h->min()});
+      out.push_back(Sample{name + ".mean", h->mean()});
+      out.push_back(Sample{name + ".p50", h->quantile(0.50)});
+      out.push_back(Sample{name + ".p99", h->quantile(0.99)});
+      out.push_back(Sample{name + ".max", h->max()});
+    }
+  }
+  return out;
+}
+
+std::string MetricRegistry::table() const {
+  const std::vector<Sample> samples = snapshot();
+  std::size_t width = 0;
+  for (const Sample& s : samples) width = std::max(width, s.name.size());
+  std::string out;
+  char buf[64];
+  for (const Sample& s : samples) {
+    out += s.name;
+    out.append(width - s.name.size() + 2, ' ');
+    std::snprintf(buf, sizeof(buf), "%.9g", s.value);
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+void MetricRegistry::write_csv(const std::string& path) const {
+  sim::CsvWriter csv(path, {"metric", "value"});
+  char buf[64];
+  for (const Sample& s : snapshot()) {
+    std::snprintf(buf, sizeof(buf), "%.9g", s.value);
+    csv.row(std::vector<std::string>{s.name, buf});
+  }
+}
+
+}  // namespace mltcp::telemetry

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace mltcp::telemetry {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_ += n; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-written floating-point metric.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Distribution metric. Stores its observations (intended for end-of-run
+/// aggregation — iteration times, per-flow totals — not per-packet rates),
+/// so percentiles are exact.
+class Histogram {
+ public:
+  void observe(double v);
+
+  std::size_t count() const { return values_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Exact quantile by nearest-rank; q in [0, 1]. 0 on an empty histogram.
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Hierarchically named metrics for one run. Names are slash-separated
+/// paths ("tcp/flow3/retransmissions", "net/bottleneck/drops"); the
+/// find-or-create accessors make call sites one-liners and the snapshot is
+/// sorted by name so every export is deterministic.
+///
+/// Not thread-safe: one registry per run, like the Tracer.
+class MetricRegistry {
+ public:
+  /// Find-or-create. Throws std::logic_error if `name` already names a
+  /// metric of a different kind.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  bool contains(const std::string& name) const {
+    return metrics_.count(name) > 0;
+  }
+  std::size_t size() const { return metrics_.size(); }
+
+  /// One exported value. Histograms expand into `.count`, `.min`, `.mean`,
+  /// `.p50`, `.p99`, `.max` rows.
+  struct Sample {
+    std::string name;
+    double value = 0.0;
+  };
+
+  /// Every metric flattened to (name, value), sorted by name.
+  std::vector<Sample> snapshot() const;
+
+  /// Aligned two-column text table of snapshot(), for end-of-run reports.
+  std::string table() const;
+
+  /// snapshot() as a `metric,value` CSV file (RFC 4180 quoting).
+  void write_csv(const std::string& path) const;
+
+ private:
+  using Metric = std::variant<Counter, Gauge, Histogram>;
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace mltcp::telemetry

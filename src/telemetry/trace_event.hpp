@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace mltcp::telemetry {
+
+/// Event categories, one bit each, so a Tracer can enable exactly the
+/// subsystems an experiment cares about. Disabled categories cost one
+/// pointer load and one mask test at the emission site.
+enum class Category : std::uint32_t {
+  kTcp = 1u << 0,     ///< Loss events: RTO, fast retransmit, recovery.
+  kTcpAck = 1u << 1,  ///< Per-ACK window updates (very hot; off by default).
+  kQueue = 1u << 2,   ///< Queue drops and ECN marks.
+  kMltcp = 1u << 3,   ///< Gain updates, bytes_ratio milestones (Algorithm 1).
+  kJob = 1u << 4,     ///< Training-job phase and iteration boundaries.
+  kFlow = 1u << 5,    ///< FlowMonitor cwnd/gain counter samples.
+  kLink = 1u << 6,    ///< Link-level transmission events.
+  kCustom = 1u << 7,  ///< Experiment-defined events.
+};
+
+constexpr std::uint32_t category_bit(Category c) {
+  return static_cast<std::uint32_t>(c);
+}
+constexpr std::uint32_t operator|(Category a, Category b) {
+  return category_bit(a) | category_bit(b);
+}
+constexpr std::uint32_t operator|(std::uint32_t a, Category b) {
+  return a | category_bit(b);
+}
+
+inline constexpr std::uint32_t kAllCategories = 0xffffffffu;
+
+/// How an event renders on a timeline (mirrors the Chrome trace phases).
+enum class EventType : std::uint8_t {
+  kInstant,  ///< A point in time (a drop, an RTO).
+  kBegin,    ///< Opens a slice on the event's track.
+  kEnd,      ///< Closes the most recent slice on the event's track.
+  kCounter,  ///< A sampled numeric value (cwnd, gain, bytes_ratio).
+};
+
+/// One structured trace event. Plain value type sized for the flight
+/// recorder's ring buffer: names are pointers to string literals (or other
+/// storage outliving the Tracer), never owned strings.
+struct TraceEvent {
+  sim::SimTime when = 0;
+  Category category = Category::kCustom;
+  EventType type = EventType::kInstant;
+  const char* name = "";    ///< Static string: event or counter name.
+  std::uint64_t track = 0;  ///< Timeline the event belongs to (see track_*).
+  /// Up to two numeric arguments with static names; unused when nullptr.
+  const char* v0_name = nullptr;
+  double v0 = 0.0;
+  const char* v1_name = nullptr;
+  double v1 = 0.0;
+};
+
+/// Track-id namespaces so flows, jobs and links render as distinct process
+/// groups in a Chrome trace instead of colliding on raw ids.
+constexpr std::uint64_t track_flow(std::int64_t flow_id) {
+  return static_cast<std::uint64_t>(flow_id);
+}
+constexpr std::uint64_t track_job(std::uint64_t job_ordinal) {
+  return 1'000'000 + job_ordinal;
+}
+constexpr std::uint64_t track_link(std::uint64_t link_ordinal) {
+  return 2'000'000 + link_ordinal;
+}
+
+}  // namespace mltcp::telemetry

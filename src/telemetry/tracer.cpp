@@ -1,0 +1,106 @@
+#include "telemetry/tracer.hpp"
+
+#include "telemetry/sinks.hpp"
+
+namespace mltcp::telemetry {
+
+Tracer::Tracer(Config cfg)
+    : categories_(cfg.categories), ring_capacity_(cfg.ring_capacity) {
+  ring_.reserve(ring_capacity_);
+}
+
+void Tracer::add_sink(TraceSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void Tracer::emit(const TraceEvent& ev) {
+  ++emitted_;
+  if (ring_capacity_ > 0) {
+    if (ring_.size() < ring_capacity_) {
+      ring_.push_back(ev);
+    } else {
+      ring_[ring_next_] = ev;
+      ring_next_ = (ring_next_ + 1) % ring_capacity_;
+    }
+  }
+  for (TraceSink* sink : sinks_) sink->on_event(ev);
+}
+
+void Tracer::instant(Category c, const char* name, sim::SimTime when,
+                     std::uint64_t track, const char* v0_name, double v0,
+                     const char* v1_name, double v1) {
+  TraceEvent ev;
+  ev.when = when;
+  ev.category = c;
+  ev.type = EventType::kInstant;
+  ev.name = name;
+  ev.track = track;
+  ev.v0_name = v0_name;
+  ev.v0 = v0;
+  ev.v1_name = v1_name;
+  ev.v1 = v1;
+  emit(ev);
+}
+
+void Tracer::counter(Category c, const char* name, sim::SimTime when,
+                     std::uint64_t track, double value) {
+  TraceEvent ev;
+  ev.when = when;
+  ev.category = c;
+  ev.type = EventType::kCounter;
+  ev.name = name;
+  ev.track = track;
+  ev.v0_name = "value";
+  ev.v0 = value;
+  emit(ev);
+}
+
+void Tracer::begin(Category c, const char* name, sim::SimTime when,
+                   std::uint64_t track) {
+  TraceEvent ev;
+  ev.when = when;
+  ev.category = c;
+  ev.type = EventType::kBegin;
+  ev.name = name;
+  ev.track = track;
+  emit(ev);
+}
+
+void Tracer::end(Category c, const char* name, sim::SimTime when,
+                 std::uint64_t track) {
+  TraceEvent ev;
+  ev.when = when;
+  ev.category = c;
+  ev.type = EventType::kEnd;
+  ev.name = name;
+  ev.track = track;
+  emit(ev);
+}
+
+std::uint64_t Tracer::ring_overwritten() const {
+  if (ring_capacity_ == 0 || ring_.size() < ring_capacity_) return 0;
+  return emitted_ - ring_base_ - static_cast<std::uint64_t>(ring_.size());
+}
+
+void Tracer::clear_ring() {
+  ring_.clear();
+  ring_next_ = 0;
+  ring_base_ = emitted_;
+}
+
+std::vector<TraceEvent> Tracer::ring_snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once full, ring_next_ points at the oldest retained event.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::dump_ring(TraceSink& sink) const {
+  for (const TraceEvent& ev : ring_snapshot()) sink.on_event(ev);
+  sink.finish();
+}
+
+}  // namespace mltcp::telemetry

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "telemetry/trace_event.hpp"
+
+namespace mltcp::telemetry {
+
+class TraceSink;
+
+/// Structured event tracer for one simulation. Attach it to a Simulator
+/// (`sim.set_tracer(&tracer)`) and instrumented components emit TraceEvents
+/// through it; a null tracer or a disabled category costs one pointer load
+/// and one mask test at the emission site (see tracer_for()).
+///
+/// Two retention modes, combinable:
+///  - streaming: every enabled event is forwarded to the attached sinks;
+///  - flight recorder: with `ring_capacity > 0` the last N events are kept
+///    in a bounded ring buffer that can be dumped on an anomaly (an RTO
+///    burst, a divergent run) — the black-box view of *why* a run went bad.
+///
+/// Not thread-safe: a Tracer belongs to exactly one Simulator, and campaign
+/// runs each own their world (simulator + tracer + sinks), which is what
+/// keeps per-run trace files byte-identical between serial and parallel
+/// execution.
+class Tracer {
+ public:
+  struct Config {
+    /// Bitmask of enabled categories (see Category / operator|).
+    std::uint32_t categories = 0;
+    /// Flight-recorder capacity in events; 0 disables the ring.
+    std::size_t ring_capacity = 0;
+  };
+
+  Tracer() = default;
+  explicit Tracer(Config cfg);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool wants(Category c) const {
+    return (categories_ & category_bit(c)) != 0;
+  }
+  std::uint32_t categories() const { return categories_; }
+  void set_categories(std::uint32_t mask) { categories_ = mask; }
+
+  /// Registers a sink (not owned; must outlive the tracer's last emit).
+  void add_sink(TraceSink* sink);
+
+  /// Records one event. Callers are expected to gate on wants()/tracer_for()
+  /// first; emit() itself does not re-check the category.
+  void emit(const TraceEvent& ev);
+
+  /// Convenience emitters. Same gating contract as emit().
+  void instant(Category c, const char* name, sim::SimTime when,
+               std::uint64_t track, const char* v0_name = nullptr,
+               double v0 = 0.0, const char* v1_name = nullptr,
+               double v1 = 0.0);
+  void counter(Category c, const char* name, sim::SimTime when,
+               std::uint64_t track, double value);
+  void begin(Category c, const char* name, sim::SimTime when,
+             std::uint64_t track);
+  void end(Category c, const char* name, sim::SimTime when,
+           std::uint64_t track);
+
+  /// Total events emitted (including ones the ring has since overwritten).
+  std::uint64_t emitted() const { return emitted_; }
+
+  /// --- flight recorder ---
+  bool ring_enabled() const { return ring_capacity_ > 0; }
+  std::size_t ring_capacity() const { return ring_capacity_; }
+  /// Events overwritten because the ring was full.
+  std::uint64_t ring_overwritten() const;
+  /// Empties the flight recorder (capacity unchanged); emitted() keeps
+  /// counting across clears.
+  void clear_ring();
+  /// The retained events, oldest first.
+  std::vector<TraceEvent> ring_snapshot() const;
+  /// Replays the retained events (oldest first) into `sink` and finishes it.
+  void dump_ring(TraceSink& sink) const;
+
+ private:
+  std::uint32_t categories_ = 0;
+  std::vector<TraceSink*> sinks_;
+  std::uint64_t emitted_ = 0;
+
+  std::size_t ring_capacity_ = 0;
+  std::size_t ring_next_ = 0;  ///< Next write slot when the ring is full.
+  std::uint64_t ring_base_ = 0;  ///< emitted() value at the last clear.
+  std::vector<TraceEvent> ring_;
+};
+
+/// The one-line gate instrumented code uses:
+///
+///   if (auto* t = telemetry::tracer_for(sim_, Category::kTcp))
+///     t->instant(...);
+///
+/// Compiles to a load, a null test and a mask test when tracing is off.
+inline Tracer* tracer_for(const sim::Simulator& s, Category c) {
+  Tracer* t = s.tracer();
+  return (t != nullptr && t->wants(c)) ? t : nullptr;
+}
+
+}  // namespace mltcp::telemetry

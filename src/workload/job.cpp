@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/tracer.hpp"
+
 namespace mltcp::workload {
 
 Job::Job(sim::Simulator& simulator, JobConfig cfg,
          std::vector<FlowBinding> flows, sim::Rng rng)
     : sim_(simulator), cfg_(std::move(cfg)), flows_(std::move(flows)),
-      rng_(rng) {
+      rng_(rng),
+      track_(telemetry::track_job(simulator.allocate_trace_ordinal())) {
   assert(!flows_.empty());
   for ([[maybe_unused]] const auto& b : flows_) {
     assert(b.flow != nullptr && b.bytes_per_iteration > 0);
@@ -24,6 +27,9 @@ void Job::start() {
 void Job::begin_iteration() {
   comm_start_ = sim_.now();
   current_chunk_ = 0;
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kJob)) {
+    t->begin(telemetry::Category::kJob, "comm", sim_.now(), track_);
+  }
   send_current_chunk();
 }
 
@@ -51,6 +57,10 @@ void Job::on_flow_complete(sim::SimTime when) {
     return;
   }
   comm_end_ = when;
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kJob)) {
+    t->end(telemetry::Category::kJob, "comm", sim_.now(), track_);
+    t->begin(telemetry::Category::kJob, "compute", sim_.now(), track_);
+  }
 
   // Compute phase with the paper's Gaussian perturbation model.
   sim::SimTime compute = cfg_.compute_time;
@@ -65,6 +75,12 @@ void Job::on_flow_complete(sim::SimTime when) {
 void Job::on_compute_done() {
   records_.push_back(IterationRecord{current_iteration_, comm_start_,
                                      comm_end_, sim_.now()});
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kJob)) {
+    t->end(telemetry::Category::kJob, "compute", sim_.now(), track_);
+    t->instant(telemetry::Category::kJob, "iteration", sim_.now(), track_,
+               "index", static_cast<double>(current_iteration_), "iter_s",
+               sim::to_seconds(sim_.now() - comm_start_));
+  }
   ++current_iteration_;
   if (cfg_.max_iterations > 0 && current_iteration_ >= cfg_.max_iterations) {
     running_ = false;

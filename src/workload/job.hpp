@@ -90,6 +90,9 @@ class Job {
 
   bool running() const { return running_; }
 
+  /// Telemetry track id (track_job namespace) for this job's phase slices.
+  std::uint64_t trace_track() const { return track_; }
+
  private:
   void begin_iteration();
   void send_current_chunk();
@@ -100,6 +103,7 @@ class Job {
   JobConfig cfg_;
   std::vector<FlowBinding> flows_;
   sim::Rng rng_;
+  std::uint64_t track_;
 
   bool running_ = false;
   int current_iteration_ = 0;

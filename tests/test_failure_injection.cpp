@@ -11,6 +11,10 @@
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/flow.hpp"
+#include "telemetry/collect.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sinks.hpp"
+#include "telemetry/tracer.hpp"
 #include "workload/cluster.hpp"
 #include "workload/collective.hpp"
 #include "workload/profiles.hpp"
@@ -40,6 +44,12 @@ struct LossyRig {
 
 TEST(FailureInjection, TransferSurvivesTotalBlackout) {
   LossyRig rig;
+  // Flight recorder on the loss categories: if the run goes bad, the last
+  // events explain it — and after the blackout it must contain the RTOs.
+  telemetry::Tracer tracer(telemetry::Tracer::Config{
+      telemetry::Category::kTcp | telemetry::Category::kQueue, 256});
+  rig.sim.set_tracer(&tracer);
+
   tcp::TcpFlow flow(rig.sim, *rig.d.left[0], *rig.d.right[0], 1,
                     std::make_unique<tcp::RenoCC>());
   sim::SimTime done = -1;
@@ -53,10 +63,24 @@ TEST(FailureInjection, TransferSurvivesTotalBlackout) {
 
   rig.sim.run_until(sim::seconds(30));
   ASSERT_GT(done, 0) << "flow never recovered from the blackout";
-  EXPECT_GT(flow.sender().stats().timeouts, 0)
-      << "a full blackout must be survived via RTO";
   EXPECT_EQ(flow.receiver().rcv_next(),
             flow.sender().segments_for_bytes(10'000'000));
+
+  // The consolidated registry view must agree with the raw stats struct:
+  // a full blackout is survived via RTO.
+  telemetry::MetricRegistry reg;
+  telemetry::collect_sender(reg, "tcp/flow1", flow.sender());
+  EXPECT_GT(reg.counter("tcp/flow1/timeouts").value(), 0)
+      << "a full blackout must be survived via RTO";
+  EXPECT_EQ(reg.counter("tcp/flow1/timeouts").value(),
+            flow.sender().stats().timeouts);
+
+  // Anomaly detected (an RTO burst): dump the black box. The retained tail
+  // must actually contain the rto/drop events of the blackout.
+  telemetry::InMemorySink blackbox;
+  tracer.dump_ring(blackbox);
+  EXPECT_GT(tracer.emitted(), 0u);
+  EXPECT_GT(blackbox.count("rto") + blackbox.count("drop"), 0u);
 }
 
 TEST(FailureInjection, RtoBackoffDuringBlackoutThenRecovers) {
@@ -99,6 +123,15 @@ TEST(FailureInjection, FlappingLossDoesNotWedgeSack) {
   ASSERT_GT(done, 0);
   EXPECT_EQ(flow.receiver().rcv_next(),
             flow.sender().segments_for_bytes(8'000'000));
+
+  // Intermittent 5% loss on a SACK flow must be absorbed by fast
+  // retransmits (dupACK recovery), not by stalling into RTOs.
+  telemetry::MetricRegistry reg;
+  telemetry::collect_sender(reg, "tcp/flow1", flow.sender());
+  EXPECT_GT(reg.counter("tcp/flow1/fast_retransmits").value(), 0)
+      << "flapping loss should trigger dupACK recovery";
+  EXPECT_EQ(reg.counter("tcp/flow1/fast_retransmits").value(),
+            flow.sender().stats().fast_retransmits);
 }
 
 TEST(FailureInjection, MltcpJobRidesOutLossBurstAndReconverges) {

@@ -43,6 +43,36 @@ TEST(CsvWriter, WritesStringRows) {
   EXPECT_EQ(slurp(f.path), "name,value\nreno,1.81\n");
 }
 
+// RFC 4180 regression: fields containing delimiters, quotes, or line breaks
+// must be quoted (with inner quotes doubled), and plain fields must be left
+// untouched. CSV readers (pandas, spreadsheets) choke on the raw output the
+// writer used to emit for such fields.
+TEST(CsvWriter, QuotesFieldsPerRfc4180) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+
+  TempFile f("rfc4180");
+  {
+    CsvWriter csv(f.path, {"name", "note"});
+    csv.row(std::vector<std::string>{"job,0", "said \"go\""});
+    csv.row(std::vector<std::string>{"multi\nline", "plain"});
+  }
+  EXPECT_EQ(slurp(f.path),
+            "name,note\n"
+            "\"job,0\",\"said \"\"go\"\"\"\n"
+            "\"multi\nline\",plain\n");
+}
+
+TEST(CsvWriter, QuotesHeaderFieldsToo) {
+  TempFile f("rfc4180_header");
+  { CsvWriter csv(f.path, {"metric", "value, in seconds"}); }
+  EXPECT_EQ(slurp(f.path), "metric,\"value, in seconds\"\n");
+}
+
 TEST(CsvWriter, ThrowsOnUnwritablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}),
                std::runtime_error);
