@@ -27,6 +27,85 @@ void BM_EventQueueScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleRun);
 
+// The closures the simulator actually schedules are not empty: every hop
+// captures a net::Packet by value (link transmission-done, propagation
+// delivery — see net/link.cpp). This is the shape where the engine's inline
+// callback storage matters: a type-erased std::function would heap-allocate
+// each one.
+void BM_EventQueuePacketClosures(benchmark::State& state) {
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < 1024; ++i) {
+      net::Packet pkt;
+      pkt.seq = i;
+      pkt.size_bytes = 1500;
+      q.schedule(i * 7 % 997, [pkt, &sink] { sink += pkt.seq; });
+    }
+    while (!q.empty()) q.pop_and_run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueuePacketClosures);
+
+// Steady state: a long-lived queue holding a packet-scale pending set, each
+// event scheduling its successor — the pattern of an in-flight packet train.
+// This is the regime the engine keeps allocation-free.
+void BM_EventQueueSteadyState(benchmark::State& state) {
+  sim::EventQueue q;
+  std::int64_t sink = 0;
+  sim::SimTime now = 0;
+  for (int i = 0; i < 256; ++i) {
+    net::Packet pkt;
+    pkt.seq = i;
+    q.schedule(1 + i * 37 % 509, [pkt, &sink] { sink += pkt.seq; });
+  }
+  for (auto _ : state) {
+    now = q.pop_and_run();
+    net::Packet pkt;
+    pkt.seq = sink;
+    q.schedule(now + 1 + sink * 37 % 509, [pkt, &sink] { sink += pkt.seq; });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSteadyState);
+
+// RTO-style churn: most scheduled events never fire — they are cancelled and
+// replaced long before their deadline. Exercises generation-tag cancellation
+// and the stale-entry compaction that keeps the heap bounded.
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::SimTime now = 0;
+  for (auto _ : state) {
+    const sim::EventId id = q.schedule(now + 1'000'000, [] {});
+    q.cancel(id);
+    q.schedule(now + 1, [] {});
+    now = q.pop_and_run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueCancelChurn);
+
+// Timer rearm storm: the same deadline-replacement pattern as above but
+// through the reusable QueueTimer, which keeps its callback in place.
+void BM_TimerRearm(benchmark::State& state) {
+  sim::EventQueue q;
+  std::int64_t fired = 0;
+  sim::QueueTimer rto(q, [&fired] { ++fired; });
+  sim::SimTime now = 0;
+  for (auto _ : state) {
+    rto.arm(now + 1'000'000);  // pushed out, never fires
+    q.schedule(now + 1, [] {});
+    now = q.pop_and_run();
+  }
+  rto.cancel();
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimerRearm);
+
 void BM_AggressivenessLinear(benchmark::State& state) {
   core::LinearAggressiveness f;
   double r = 0.0;

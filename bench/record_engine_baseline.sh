@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Records event-engine benchmark numbers into results/BENCH_engine.json so
+# the perf trajectory is tracked in-repo from this point on.
+#
+# Runs the event-queue/timer microbenchmarks (google-benchmark JSON output)
+# and, unless SKIP_SCALING=1, the campaign-runner scaling benchmark, then
+# merges both into the JSON file. Existing sections other than the one being
+# written are preserved, so the recorded pre-change baseline survives
+# re-runs.
+#
+# Usage:
+#   bench/record_engine_baseline.sh                 # record into "current"
+#   SECTION=mylabel bench/record_engine_baseline.sh # record a named section
+#   BUILD_DIR=/path/to/build MIN_TIME=0.5 SKIP_SCALING=1 ...
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="$ROOT/results/BENCH_engine.json"
+SECTION="${SECTION:-current}"
+MIN_TIME="${MIN_TIME:-0.2}"   # plain seconds; this benchmark lib rejects "s"
+SKIP_SCALING="${SKIP_SCALING:-0}"
+
+MICRO_JSON="$BUILD/engine_micro.json"
+SCALING_TXT="$BUILD/engine_scaling.txt"
+
+"$BUILD/bench/micro_benchmarks" \
+  --benchmark_filter='EventQueue|Timer' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json > "$MICRO_JSON"
+
+if [ "$SKIP_SCALING" != "1" ]; then
+  "$BUILD/bench/runner_scaling" | tee "$SCALING_TXT"
+else
+  : > "$SCALING_TXT"
+fi
+
+python3 - "$OUT" "$SECTION" "$MICRO_JSON" "$SCALING_TXT" <<'PY'
+import json, re, sys
+
+out_path, section, micro_path, scaling_path = sys.argv[1:5]
+
+with open(micro_path) as f:
+    micro = json.load(f)
+
+bench = {}
+for b in micro.get("benchmarks", []):
+    # With repetitions + aggregates-only we get mean/median/stddev rows;
+    # keep the median as the representative number.
+    if b.get("aggregate_name", "") not in ("", "median"):
+        continue
+    name = b["name"].split("/")[0].replace("_median", "")
+    bench[name] = {
+        "items_per_second": round(b.get("items_per_second", 0.0), 1),
+        "real_time_ns": round(b.get("real_time", 0.0), 2),
+    }
+
+scaling = {}
+with open(scaling_path) as f:
+    for line in f:
+        m = re.match(r"threads=(\d+): ([0-9.]+)s", line)
+        if m:
+            scaling[f"threads_{m.group(1)}_wall_seconds"] = float(m.group(2))
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    doc = {"schema": 1, "note": "event-engine benchmark record; see "
+           "bench/record_engine_baseline.sh and DESIGN.md 'Event engine'"}
+
+# Merge into the section so a SKIP_SCALING re-run keeps recorded scaling
+# numbers.
+doc.setdefault(section, {})["benchmarks"] = bench
+if scaling:
+    doc[section]["runner_scaling"] = scaling
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote section '{section}' to {out_path}")
+PY

@@ -8,19 +8,19 @@ namespace mltcp::analysis {
 
 FlowMonitor::FlowMonitor(sim::Simulator& simulator,
                          const tcp::TcpSender& sender, sim::SimTime interval)
-    : sim_(simulator), sender_(sender), interval_(interval) {
+    : sim_(simulator),
+      sender_(sender),
+      interval_(interval),
+      timer_(simulator, [this] { sample(); }) {
   assert(interval > 0);
-  event_ = sim_.schedule(0, [this] { sample(); });
+  timer_.arm(0);
 }
 
 FlowMonitor::~FlowMonitor() { stop(); }
 
 void FlowMonitor::stop() {
   stopped_ = true;
-  if (event_ != sim::kInvalidEventId) {
-    sim_.cancel(event_);
-    event_ = sim::kInvalidEventId;
-  }
+  timer_.cancel();
 }
 
 void FlowMonitor::sample() {
@@ -42,7 +42,7 @@ void FlowMonitor::sample() {
     t->counter(telemetry::Category::kFlow, "cwnd", s.when, track, s.cwnd);
     t->counter(telemetry::Category::kFlow, "gain", s.when, track, s.gain);
   }
-  event_ = sim_.schedule(interval_, [this] { sample(); });
+  timer_.arm(interval_);
 }
 
 double FlowMonitor::mean_cwnd(sim::SimTime from, sim::SimTime to) const {

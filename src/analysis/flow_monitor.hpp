@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "sim/timer.hpp"
 #include "tcp/sender.hpp"
 
 namespace mltcp::analysis {
@@ -48,7 +49,7 @@ class FlowMonitor {
   sim::Simulator& sim_;
   const tcp::TcpSender& sender_;
   sim::SimTime interval_;
-  sim::EventId event_ = sim::kInvalidEventId;
+  sim::Timer timer_;  ///< Periodic sampler; rearms itself in place.
   bool stopped_ = false;
   std::vector<FlowSample> samples_;
 };

@@ -17,7 +17,8 @@ Link::Link(sim::Simulator& simulator, std::string name, double rate_bps,
       prop_delay_(propagation_delay),
       queue_(std::move(queue)),
       dst_(destination),
-      track_(telemetry::track_link(simulator.allocate_trace_ordinal())) {
+      track_(telemetry::track_link(simulator.allocate_trace_ordinal())),
+      tx_timer_(simulator, [this] { on_transmission_done(); }) {
   assert(rate_bps_ > 0.0);
   assert(queue_ != nullptr);
   assert(dst_ != nullptr);
@@ -47,15 +48,23 @@ void Link::start_transmission(Packet pkt) {
                static_cast<double>(queue_->backlog_bytes()));
   }
   busy_time_ += tx;
-  sim_.schedule(tx, [this, pkt] { on_transmission_done(pkt); });
+  tx_pkt_ = pkt;
+  tx_timer_.arm(tx);
 }
 
-void Link::on_transmission_done(Packet pkt) {
-  bytes_tx_ += pkt.size_bytes;
+void Link::on_transmission_done() {
+  bytes_tx_ += tx_pkt_.size_bytes;
   ++packets_tx_;
-  // Hand off to propagation; delivery happens prop_delay_ later.
+  // Hand off to propagation; delivery happens prop_delay_ later. Each packet
+  // in flight is its own event, so the closure carries the packet by value —
+  // it must stay within the inline-callback budget or every hop would
+  // heap-allocate (the engine's dominant cost before this design).
   Node* dst = dst_;
-  sim_.schedule(prop_delay_, [dst, pkt] { dst->receive(pkt); });
+  const Packet pkt = tx_pkt_;
+  auto deliver = [dst, pkt] { dst->receive(pkt); };
+  static_assert(sizeof(deliver) <= sim::kInlineCallbackCapacity,
+                "propagation closure outgrew the inline-callback budget");
+  sim_.schedule(prop_delay_, std::move(deliver));
 
   auto next = queue_->dequeue(sim_.now());
   if (next.has_value()) {

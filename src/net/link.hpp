@@ -7,6 +7,7 @@
 #include "net/packet.hpp"
 #include "net/queue.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer.hpp"
 
 namespace mltcp::net {
 
@@ -54,7 +55,7 @@ class Link {
 
  private:
   void start_transmission(Packet pkt);
-  void on_transmission_done(Packet pkt);
+  void on_transmission_done();
 
   sim::Simulator& sim_;
   std::string name_;
@@ -63,6 +64,11 @@ class Link {
   std::unique_ptr<QueueDiscipline> queue_;
   Node* dst_;
   std::uint64_t track_;
+
+  /// Serialization-done deadline for the packet in `tx_pkt_`; rearmed in
+  /// place for every transmission instead of scheduling a fresh closure.
+  sim::Timer tx_timer_;
+  Packet tx_pkt_{};  ///< The packet currently on the transmitter.
 
   bool busy_ = false;
   std::int64_t bytes_tx_ = 0;

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mltcp::sim {
+
+/// Inline capture budget of EventCallback. Sized for the largest hot-path
+/// closure in the simulator: a propagation-delivery lambda capturing a
+/// Node* plus a net::Packet by value (8 + 72 = 80 bytes; see the
+/// static_asserts at the scheduling sites in net/link.cpp). Callables that
+/// fit are stored in the event entry itself — scheduling them never touches
+/// the heap. Oversized callables still work but fall back to one heap
+/// allocation; keep hot-path captures under this budget.
+inline constexpr std::size_t kInlineCallbackCapacity = 96;
+
+/// Small-buffer-optimized, move-only `void()` callable used by the event
+/// engine in place of std::function. Differences that matter here:
+///  - captures up to kInlineCallbackCapacity bytes live inline, so the
+///    steady-state schedule/fire cycle performs zero heap allocations;
+///  - trivially copyable captures (the common case: `this` pointers and
+///    packets) relocate with a plain memcpy, no manager-function call;
+///  - invocation is one indirect call through a stored function pointer.
+class EventCallback {
+ public:
+  EventCallback() noexcept = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventCallback> &&
+                                        std::is_invocable_v<D&>>>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor): mirrors
+                          // std::function's implicit construction from
+                          // lambdas at every schedule() call site.
+    emplace(std::forward<F>(f));
+  }
+
+  /// Installs `f`, destroying any current callable. Lets the event queue
+  /// construct a closure directly in slot storage instead of building it on
+  /// the caller's stack and copying it over.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventCallback> &&
+                                        std::is_invocable_v<D&>>>
+  void emplace(F&& f) {
+    reset();
+    if constexpr (sizeof(D) <= kInlineCallbackCapacity &&
+                  alignof(D) <= kInlineAlignment) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](void* b) { (*std::launder(reinterpret_cast<D*>(b)))(); };
+      if constexpr (std::is_trivially_copyable_v<D> &&
+                    std::is_trivially_destructible_v<D>) {
+        // Trivial fast path: record the capture size so a move copies only
+        // the bytes that exist, not the whole buffer — the difference
+        // between touching one cache line and three on every schedule.
+        // Captureless lambdas carry no state at all.
+        size_ = std::is_empty_v<D> ? 0 : sizeof(D);
+      } else {
+        ops_ = &kInlineOps<D>;
+      }
+    } else {
+      // Heap fallback for oversized or over-aligned captures; never taken
+      // by the engine's own call sites (see the allocation-counting test).
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
+      invoke_ = [](void* b) { (**reinterpret_cast<D**>(b))(); };
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept { move_from(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+  ~EventCallback() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  /// Destroys the stored callable (if any); the callback becomes empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) ops_->destroy(buf_);
+    ops_ = nullptr;
+    invoke_ = nullptr;
+  }
+
+ private:
+  struct Ops {
+    void (*destroy)(void*) noexcept;
+    /// Move-constructs the callable into `dst` and destroys the one in
+    /// `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* b) noexcept { std::launder(reinterpret_cast<D*>(b))->~D(); },
+      [](void* dst, void* src) noexcept {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      }};
+
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* b) noexcept { delete *reinterpret_cast<D**>(b); },
+      [](void* dst, void* src) noexcept {
+        std::memcpy(dst, src, sizeof(D*));
+      }};
+
+  void move_from(EventCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    ops_ = other.ops_;
+    size_ = other.size_;
+    if (invoke_ != nullptr) {
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+      } else {
+        std::memcpy(buf_, other.buf_, size_);
+      }
+    }
+    other.invoke_ = nullptr;
+    other.ops_ = nullptr;
+  }
+
+  /// Captures needing stricter alignment than this take the heap path.
+  static constexpr std::size_t kInlineAlignment = 8;
+
+  void (*invoke_)(void*) = nullptr;
+  const Ops* ops_ = nullptr;  ///< Null for trivially relocatable captures.
+  std::uint32_t size_ = 0;    ///< Capture size on the trivial inline path.
+  alignas(kInlineAlignment) unsigned char buf_[kInlineCallbackCapacity];
+};
+
+}  // namespace mltcp::sim

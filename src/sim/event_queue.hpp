@@ -1,24 +1,45 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <type_traits>
 #include <utility>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_callback.hpp"
 #include "sim/time.hpp"
 
 namespace mltcp::sim {
 
-/// Identifies a scheduled event so it can be cancelled. Ids are never reused
-/// within one queue instance.
+/// Identifies a scheduled event so it can be cancelled. An id encodes a slot
+/// index plus a per-slot generation tag, so ids from a reused slot never
+/// alias an earlier event: cancel()/pending() on a stale id are exact no-ops.
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
 
+class QueueTimer;
+
 /// Min-heap of timestamped callbacks. Events at equal timestamps fire in
 /// scheduling order (FIFO), which keeps runs deterministic.
+///
+/// Engineered for the packet hot path (three trips per simulated packet):
+///  - callbacks are EventCallback (inline small-buffer storage), so the
+///    steady-state schedule/fire cycle performs zero heap allocations;
+///  - cancellation is generation-tagged: each event owns a slot in a
+///    free-list table and its id carries the slot's generation, making
+///    cancel()/pending() O(1) with no hashing. Generations use parity as the
+///    armed flag (odd = armed), so liveness is a single compare against a
+///    flat uint32 array that stays cache-resident;
+///  - callback payloads live in chunked, address-stable storage, so a firing
+///    callback runs in place (no move-out copy) even when it schedules new
+///    events, and QueueTimer bindings never relocate;
+///  - ordering lives in an implicit 4-ary heap of 24-byte entries
+///    (timestamp, FIFO sequence, slot, generation) — shallower and more
+///    cache-friendly than a binary heap of fat entries;
+///  - stale heap entries (cancelled or rearmed) are dropped lazily when they
+///    surface and compacted away when they outnumber live ones, bounding
+///    memory under cancel/reschedule-heavy workloads (RTO rearm storms).
 class EventQueue {
  public:
   EventQueue() = default;
@@ -26,52 +47,192 @@ class EventQueue {
   EventQueue& operator=(const EventQueue&) = delete;
 
   /// Schedules `fn` to run at absolute time `when`.
-  EventId schedule(SimTime when, std::function<void()> fn);
+  EventId schedule(SimTime when, EventCallback fn);
+
+  /// Same, but constructs the callable directly in slot storage — the
+  /// closure never exists on the caller's stack, saving a capture-sized
+  /// copy per schedule on the packet hot path.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback>>>
+  EventId schedule(SimTime when, F&& fn) {
+    const std::uint32_t slot = acquire_slot();
+    payload(slot).fn.emplace(std::forward<F>(fn));
+    const std::uint32_t gen = ++gens_[slot];  // even -> odd: armed
+    ++live_;
+    push_entry(when, slot, gen);
+    return make_id(slot, gen);
+  }
 
   /// Cancels a pending event. Cancelling an already-fired or unknown id is a
   /// harmless no-op. Returns true if the event was pending.
   bool cancel(EventId id);
 
   /// True when an event with this id is still waiting to fire.
-  bool pending(EventId id) const { return pending_.count(id) > 0; }
+  bool pending(EventId id) const;
 
-  bool empty() const { return pending_.empty(); }
-  std::size_t size() const { return pending_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
 
   /// Timestamp of the next live event; kTimeInfinity when empty.
   SimTime next_time() const;
-
-  /// Removes the next live event and returns (timestamp, callback) without
-  /// running it, so the caller can advance its clock first.
-  /// Precondition: !empty().
-  std::pair<SimTime, std::function<void()>> pop();
 
   /// Pops and runs the next live event, returning its timestamp.
   /// Precondition: !empty().
   SimTime pop_and_run();
 
-  std::uint64_t total_scheduled() const { return next_id_ - 1; }
+  std::uint64_t total_scheduled() const { return seq_; }
+
+  /// Backing-store sizes, exposed so tests can assert that cancel-heavy
+  /// workloads keep memory bounded (see test_event_engine.cpp).
+  std::size_t heap_entries() const { return heap_.size(); }
+  std::size_t slot_capacity() const { return gens_.size(); }
 
  private:
-  struct Entry {
-    SimTime when = 0;
-    EventId id = kInvalidEventId;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
-    }
+  friend class QueueTimer;
+
+  static constexpr std::uint32_t kNullSlot = 0xffffffffu;
+  static constexpr std::uint32_t kSlotChunkShift = 8;
+  static constexpr std::uint32_t kSlotChunkSize = 1u << kSlotChunkShift;
+  /// Deepest possible 4-ary heap path: ceil(log4(2^64)) + 1 levels.
+  static constexpr int kMaxHeapDepth = 33;
+
+  /// One heap element: 24 bytes, four per 64-byte span. `seq` is the global
+  /// push ordinal providing the FIFO tiebreak at equal timestamps; `gen`
+  /// must match the slot's current generation for the entry to be live.
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
+  /// Per-slot storage that must not move: one-shot callbacks run in place
+  /// from here, and timer slots keep a back-pointer to their QueueTimer
+  /// (which owns the callback) across rearms. Allocated in fixed-size chunks
+  /// so addresses are stable while the table grows.
+  struct SlotPayload {
+    // Metadata first: for small captures, the timer tag and the callback
+    // header all land on the slot's first cache line.
+    QueueTimer* timer = nullptr;
+    EventCallback fn;
+  };
+
+  /// (when, seq) lexicographic min-order. Written without short-circuiting
+  /// so the compiler can select branchlessly — heap keys are effectively
+  /// random, and a mispredicting branch per comparison dominates sift cost.
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    return (a.when < b.when) |
+           ((a.when == b.when) & (a.seq < b.seq));
+  }
+
+  /// Live iff the slot's generation still matches. Entries are only pushed
+  /// with odd (armed) generations, and every disarm bumps the counter, so a
+  /// single compare also covers the armed check.
+  bool entry_live(const HeapEntry& e) const {
+    return gens_[e.slot] == e.gen;
+  }
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot) + 1) << 32 | gen;
+  }
+  /// Decodes an id; returns false for ids this queue never issued (issued
+  /// ids always carry an odd generation).
+  bool decode(EventId id, std::uint32_t& slot, std::uint32_t& gen) const {
+    const std::uint64_t hi = id >> 32;
+    gen = static_cast<std::uint32_t>(id);
+    if (hi == 0 || hi > gens_.size() || (gen & 1) == 0) return false;
+    slot = static_cast<std::uint32_t>(hi - 1);
+    return true;
+  }
+
+  SlotPayload& payload(std::uint32_t slot) {
+    return chunks_[slot >> kSlotChunkShift][slot & (kSlotChunkSize - 1)];
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+
+  void push_entry(SimTime when, std::uint32_t slot, std::uint32_t gen);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i) const;
+  void pop_front() const;
   /// Removes cancelled entries sitting at the heap top.
   void drop_dead_front() const;
+  /// Rebuilds the heap without stale entries once they outnumber live ones.
+  void maybe_compact();
 
-  // `mutable` so const peeks (next_time) can drop tombstoned entries.
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;
-  EventId next_id_ = 1;
+  // QueueTimer support (slots that persist across fires).
+  std::uint32_t timer_bind(QueueTimer* t);
+  void timer_release(std::uint32_t slot);
+  void timer_arm(std::uint32_t slot, SimTime when);
+  void timer_cancel(std::uint32_t slot);
+  bool timer_pending(std::uint32_t slot) const {
+    return (gens_[slot] & 1) != 0;
+  }
+
+  // `mutable` so const peeks (next_time) can drop tombstoned entries, as the
+  // previous implementation did.
+  mutable std::vector<HeapEntry> heap_;
+  mutable std::size_t stale_ = 0;  ///< Heap entries with a mismatched gen.
+  std::vector<std::uint32_t> gens_;  ///< Per-slot generation; odd = armed.
+  std::vector<std::unique_ptr<SlotPayload[]>> chunks_;
+  /// Recycled slot indices, LIFO. A plain stack (not an intrusive list
+  /// through the payloads) so acquiring a slot never chases a pointer into
+  /// cold payload memory.
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;      ///< Armed (pending) events.
+  std::uint64_t seq_ = 0;     ///< Total pushes; FIFO tiebreak source.
+};
+
+/// Reusable timer handle for periodic / frequently rearmed events (link
+/// transmission-done, TCP RTO, pacing, delayed ACKs). The callback is bound
+/// once and owned by the timer; arm() replaces any pending deadline in
+/// place, so a rearm is one heap push — no callback destruction,
+/// reconstruction or allocation, and no per-rearm id to track.
+///
+/// Determinism: a rearm takes a fresh FIFO sequence number, so event
+/// ordering is identical to the cancel + schedule pattern it replaces.
+///
+/// Lifetime rules: the timer must outlive its pending deadline's fire (it
+/// cancels on destruction) and must be destroyed before the EventQueue it is
+/// bound to. The callback must not destroy its own timer from within an
+/// invocation.
+class QueueTimer {
+ public:
+  QueueTimer() = default;
+  QueueTimer(EventQueue& queue, EventCallback fn) {
+    bind(queue, std::move(fn));
+  }
+  ~QueueTimer() { release(); }
+
+  QueueTimer(const QueueTimer&) = delete;
+  QueueTimer& operator=(const QueueTimer&) = delete;
+
+  /// Binds the timer to a queue and installs its callback. Must be unbound.
+  void bind(EventQueue& queue, EventCallback fn);
+  /// Cancels and returns the slot; the timer becomes unbound.
+  void release();
+  bool bound() const { return queue_ != nullptr; }
+
+  /// (Re)arms the timer to fire at absolute time `when`, replacing any
+  /// pending deadline: the timer fires once, at the latest deadline set.
+  void arm(SimTime when);
+  /// Cancels the pending deadline, if any. The binding survives.
+  void cancel();
+  bool pending() const {
+    return queue_ != nullptr && queue_->timer_pending(slot_);
+  }
+  /// Deadline of the pending fire; meaningless unless pending().
+  SimTime deadline() const { return deadline_; }
+
+ private:
+  friend class EventQueue;
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  SimTime deadline_ = 0;
+  EventCallback fn_;
 };
 
 }  // namespace mltcp::sim

@@ -5,19 +5,21 @@ namespace mltcp::sim {
 void Simulator::run() {
   stopped_ = false;
   while (!stopped_ && !queue_.empty()) {
-    auto [when, fn] = queue_.pop();
-    now_ = when;  // the clock reads `when` while the event executes
-    fn();
+    // The clock reads the event's timestamp while the event executes, so it
+    // is advanced before pop_and_run invokes the callback.
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
     ++executed_;
   }
 }
 
 void Simulator::run_until(SimTime deadline) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
-    auto [when, fn] = queue_.pop();
+  while (!stopped_ && !queue_.empty()) {
+    const SimTime when = queue_.next_time();
+    if (when > deadline) break;
     now_ = when;
-    fn();
+    queue_.pop_and_run();
     ++executed_;
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;

@@ -1,8 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/event_callback.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -23,18 +23,26 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` to run `delay` from now. Negative delays are clamped to 0
-  /// (fire "immediately", after currently-runnable events at `now`).
-  EventId schedule(SimTime delay, std::function<void()> fn) {
-    return queue_.schedule(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  /// (fire "immediately", after currently-runnable events at `now`). The
+  /// callable is forwarded through to the queue, which constructs it
+  /// directly in event-slot storage.
+  template <typename F>
+  EventId schedule(SimTime delay, F&& fn) {
+    return queue_.schedule(now_ + (delay > 0 ? delay : 0),
+                           std::forward<F>(fn));
   }
 
   /// Schedules `fn` at absolute time `when` (clamped to now()).
-  EventId schedule_at(SimTime when, std::function<void()> fn) {
-    return queue_.schedule(when > now_ ? when : now_, std::move(fn));
+  template <typename F>
+  EventId schedule_at(SimTime when, F&& fn) {
+    return queue_.schedule(when > now_ ? when : now_, std::forward<F>(fn));
   }
 
   bool cancel(EventId id) { return queue_.cancel(id); }
   bool pending(EventId id) const { return queue_.pending(id); }
+
+  /// The underlying queue; what sim::Timer handles bind against.
+  EventQueue& event_queue() { return queue_; }
 
   /// Runs events until the queue drains or stop() is called.
   void run();

@@ -1,0 +1,58 @@
+#pragma once
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace mltcp::sim {
+
+/// Simulator-clock convenience over QueueTimer: relative arming with the
+/// same clamping rules as Simulator::schedule / schedule_at. This is the
+/// handle model components use for their periodic or frequently rearmed
+/// events (link transmission-done, TCP RTO / pacing / delayed ACK, flow
+/// sampling): bind the callback once, then rearm in place instead of the
+/// cancel + schedule churn an EventId would require.
+///
+/// Same lifetime rules as QueueTimer: destroy the timer before its
+/// Simulator, and never from inside its own callback.
+class Timer {
+ public:
+  Timer() = default;
+  Timer(Simulator& simulator, EventCallback fn) {
+    bind(simulator, std::move(fn));
+  }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Binds the timer to a simulator and installs its callback. Must be
+  /// unbound.
+  void bind(Simulator& simulator, EventCallback fn) {
+    sim_ = &simulator;
+    inner_.bind(simulator.event_queue(), std::move(fn));
+  }
+  bool bound() const { return inner_.bound(); }
+
+  /// (Re)arms the timer to fire `delay` from now, replacing any pending
+  /// deadline. Negative delays clamp to 0 (fire "immediately", after
+  /// currently-runnable events at now()).
+  void arm(SimTime delay) {
+    inner_.arm(sim_->now() + (delay > 0 ? delay : 0));
+  }
+
+  /// (Re)arms the timer at absolute time `when` (clamped to now()).
+  void arm_at(SimTime when) {
+    inner_.arm(when > sim_->now() ? when : sim_->now());
+  }
+
+  /// Cancels the pending deadline, if any. The binding survives.
+  void cancel() { inner_.cancel(); }
+  bool pending() const { return inner_.pending(); }
+  /// Deadline of the pending fire; meaningless unless pending().
+  SimTime deadline() const { return inner_.deadline(); }
+
+ private:
+  Simulator* sim_ = nullptr;
+  QueueTimer inner_;
+};
+
+}  // namespace mltcp::sim

@@ -5,7 +5,8 @@ namespace mltcp::tcp {
 TcpReceiver::TcpReceiver(sim::Simulator& simulator, net::Host& local,
                          net::NodeId peer, net::FlowId flow,
                          ReceiverConfig cfg)
-    : sim_(simulator), local_(local), peer_(peer), flow_(flow), cfg_(cfg) {}
+    : sim_(simulator), local_(local), peer_(peer), flow_(flow), cfg_(cfg),
+      delayed_ack_timer_(simulator, [this] { send_ack(pending_trigger_); }) {}
 
 void TcpReceiver::on_packet(const net::Packet& pkt) {
   if (pkt.type != net::PacketType::kData) return;
@@ -38,19 +39,14 @@ void TcpReceiver::on_packet(const net::Packet& pkt) {
 
 void TcpReceiver::schedule_delayed_ack(const net::Packet& trigger) {
   pending_trigger_ = trigger;
-  if (delayed_ack_event_ != sim::kInvalidEventId &&
-      sim_.pending(delayed_ack_event_)) {
+  if (delayed_ack_timer_.pending()) {
     return;  // timer already running; it will ack cumulatively
   }
-  delayed_ack_event_ = sim_.schedule(cfg_.delayed_ack_timeout,
-                                     [this] { send_ack(pending_trigger_); });
+  delayed_ack_timer_.arm(cfg_.delayed_ack_timeout);
 }
 
 void TcpReceiver::send_ack(const net::Packet& trigger) {
-  if (delayed_ack_event_ != sim::kInvalidEventId) {
-    sim_.cancel(delayed_ack_event_);
-    delayed_ack_event_ = sim::kInvalidEventId;
-  }
+  delayed_ack_timer_.cancel();
   unacked_in_order_ = 0;
 
   net::Packet ack;
@@ -66,9 +62,8 @@ void TcpReceiver::send_ack(const net::Packet& trigger) {
     // Summarize the out-of-order buffer as up to kMaxSackBlocks contiguous
     // ranges, lowest first (the ranges nearest the hole matter most to the
     // sender's scoreboard).
-    int block = 0;
     auto it = ooo_.begin();
-    while (it != ooo_.end() && block < net::kMaxSackBlocks) {
+    while (it != ooo_.end() && ack.sack_count() < net::kMaxSackBlocks) {
       const std::int64_t start = *it;
       std::int64_t end = start + 1;
       ++it;
@@ -76,7 +71,7 @@ void TcpReceiver::send_ack(const net::Packet& trigger) {
         ++end;
         ++it;
       }
-      ack.sack[block++] = net::SackBlock{start, end};
+      ack.add_sack(start, end);
     }
   }
 

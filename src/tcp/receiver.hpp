@@ -6,6 +6,7 @@
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer.hpp"
 
 namespace mltcp::tcp {
 
@@ -51,7 +52,8 @@ class TcpReceiver {
   std::set<std::int64_t> ooo_;
   bool pending_ce_ = false;
   int unacked_in_order_ = 0;
-  sim::EventId delayed_ack_event_ = sim::kInvalidEventId;
+  /// Reusable delayed-ACK deadline; the callback acks `pending_trigger_`.
+  sim::Timer delayed_ack_timer_;
   net::Packet pending_trigger_{};
 
   std::int64_t data_packets_ = 0;

@@ -16,7 +16,9 @@ TcpSender::TcpSender(sim::Simulator& simulator, net::Host& local,
       flow_(flow),
       cc_(std::move(cc)),
       cfg_(cfg),
-      rtt_(cfg.min_rto) {
+      rtt_(cfg.min_rto),
+      rto_timer_(simulator, [this] { on_rto(); }),
+      pace_timer_(simulator, [this] { try_send(); }) {
   assert(cc_ != nullptr);
   assert(cfg_.mtu > net::kHeaderBytes);
   cc_->window_gain().bind_telemetry(&sim_, flow_);
@@ -58,7 +60,7 @@ void TcpSender::try_send() {
       send_segment(next_seq_, /*retransmission=*/next_seq_ <= max_seq_sent_);
       ++next_seq_;
     }
-    if (inflight() > 0 && rto_event_ == sim::kInvalidEventId) arm_rto();
+    if (inflight() > 0 && !rto_timer_.pending()) arm_rto();
     return;
   }
 
@@ -67,13 +69,7 @@ void TcpSender::try_send() {
   while (next_seq_ < send_limit_ && inflight() < usable_window()) {
     if (rtt_.has_sample()) {
       if (sim_.now() < next_pace_time_) {
-        if (pace_event_ == sim::kInvalidEventId ||
-            !sim_.pending(pace_event_)) {
-          pace_event_ = sim_.schedule(next_pace_time_ - sim_.now(), [this] {
-            pace_event_ = sim::kInvalidEventId;
-            try_send();
-          });
-        }
+        if (!pace_timer_.pending()) pace_timer_.arm_at(next_pace_time_);
         break;
       }
       const auto interval = static_cast<sim::SimTime>(
@@ -83,7 +79,7 @@ void TcpSender::try_send() {
     send_segment(next_seq_, /*retransmission=*/next_seq_ <= max_seq_sent_);
     ++next_seq_;
   }
-  if (inflight() > 0 && rto_event_ == sim::kInvalidEventId) arm_rto();
+  if (inflight() > 0 && !rto_timer_.pending()) arm_rto();
 }
 
 std::int32_t TcpSender::payload_for_seq(std::int64_t seq) const {
@@ -140,8 +136,8 @@ void TcpSender::on_packet(const net::Packet& pkt) {
 }
 
 void TcpSender::absorb_sack(const net::Packet& pkt) {
-  for (const auto& block : pkt.sack) {
-    if (block.empty()) continue;
+  for (int i = 0; i < pkt.sack_count(); ++i) {
+    const net::SackBlock block = pkt.sack(i);
     sacked_.insert(std::max(block.start, snd_una_),
                    std::min(block.end, next_seq_));
   }
@@ -276,19 +272,11 @@ void TcpSender::complete_messages() {
   }
 }
 
-void TcpSender::arm_rto() {
-  rto_event_ = sim_.schedule(rtt_.rto(), [this] { on_rto(); });
-}
+void TcpSender::arm_rto() { rto_timer_.arm(rtt_.rto()); }
 
-void TcpSender::cancel_rto() {
-  if (rto_event_ != sim::kInvalidEventId) {
-    sim_.cancel(rto_event_);
-    rto_event_ = sim::kInvalidEventId;
-  }
-}
+void TcpSender::cancel_rto() { rto_timer_.cancel(); }
 
 void TcpSender::on_rto() {
-  rto_event_ = sim::kInvalidEventId;
   if (inflight() <= 0) return;
   ++stats_.timeouts;
   if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kTcp)) {

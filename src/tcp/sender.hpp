@@ -8,6 +8,7 @@
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer.hpp"
 #include "tcp/cong_control.hpp"
 #include "tcp/interval_set.hpp"
 #include "tcp/rtt_estimator.hpp"
@@ -140,7 +141,9 @@ class TcpSender {
   int dup_acks_ = 0;
   bool in_recovery_ = false;
   std::int64_t recover_ = 0;
-  sim::EventId rto_event_ = sim::kInvalidEventId;
+  /// Retransmission timer: bound once to on_rto(), rearmed in place on every
+  /// ACK instead of cancel + reschedule churn.
+  sim::Timer rto_timer_;
   sim::SimTime last_activity_ = -1;  ///< Last send or ACK; -1 = never.
 
   // SACK scoreboard (only populated when cfg_.use_sack).
@@ -155,7 +158,7 @@ class TcpSender {
 
   // Pacing state (only used when cfg_.pacing).
   sim::SimTime next_pace_time_ = 0;
-  sim::EventId pace_event_ = sim::kInvalidEventId;
+  sim::Timer pace_timer_;
 
   SenderStats stats_;
 };

@@ -1,0 +1,138 @@
+// Allocation accounting for the event engine: after warmup, the
+// schedule/fire, timer-rearm and cancel cycles must not touch the heap at
+// all. Counts every global operator new by replacing it, so any hidden
+// allocation on the hot path — a std::function fallback, a node-based
+// container, a vector regrowth — fails the test instead of shipping as a
+// per-event cost.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+
+#include "sim/event_queue.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n > 0 ? n : 1);
+}
+}  // namespace
+
+// Replacements for the throwing and sized forms; the nothrow forms route
+// through these per the standard. Aligned forms are left alone — the engine
+// never over-aligns (EventCallback rejects captures aligned beyond 8).
+void* operator new(std::size_t n) {
+  void* p = counted_alloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t n) {
+  void* p = counted_alloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mltcp {
+namespace {
+
+/// Packet-scale capture: the size class of the propagation-delivery closures
+/// the simulator schedules three times per packet (Node* + 72-byte Packet).
+struct PacketScaleCapture {
+  std::int64_t payload[9];
+  std::int64_t* sink;
+  void operator()() const { *sink += payload[0]; }
+};
+static_assert(sizeof(PacketScaleCapture) == 80);
+static_assert(sizeof(PacketScaleCapture) <= sim::kInlineCallbackCapacity);
+static_assert(std::is_trivially_copyable_v<PacketScaleCapture>);
+
+TEST(AllocFree, CounterSeesHeapFallback) {
+  // Negative control: an oversized capture must take the heap path, proving
+  // the counter actually observes engine allocations.
+  sim::EventQueue q;
+  struct Oversized {
+    char bytes[sim::kInlineCallbackCapacity + 8];
+    void operator()() const {}
+  };
+  const std::uint64_t before = g_alloc_count.load();
+  q.schedule(1, Oversized{});
+  q.pop_and_run();
+  EXPECT_GT(g_alloc_count.load(), before);
+}
+
+TEST(AllocFree, OneShotScheduleFireCycleIsAllocationFree) {
+  sim::EventQueue q;
+  std::int64_t sink = 0;
+  const auto cycle = [&q, &sink](int iters) {
+    sim::SimTime now = 0;
+    for (int i = 0; i < iters; ++i) {
+      PacketScaleCapture c{};
+      c.payload[0] = i;
+      c.sink = &sink;
+      q.schedule(now + 1 + (i * 37) % 101, c);
+      if (i >= 32) now = q.pop_and_run();  // hold ~32 in flight
+    }
+    while (!q.empty()) q.pop_and_run();
+  };
+  cycle(4096);  // warmup: heap, slot chunks and free list reach steady state
+  const std::uint64_t before = g_alloc_count.load();
+  cycle(4096);
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u)
+      << "schedule/fire cycle allocated on the steady-state path";
+  EXPECT_GT(sink, 0);
+}
+
+TEST(AllocFree, TimerRearmStormIsAllocationFree) {
+  sim::EventQueue q;
+  std::int64_t fired = 0;
+  sim::QueueTimer rto(q, [&fired] { ++fired; });
+  sim::SimTime now = 0;
+  const auto cycle = [&](int iters) {
+    for (int i = 0; i < iters; ++i) {
+      rto.arm(now + 1'000'000);
+      q.schedule(now + 1, [] {});
+      now = q.pop_and_run();
+    }
+  };
+  cycle(20'000);  // warmup covers lazy-compaction growth and shrink cycles
+  const std::uint64_t before = g_alloc_count.load();
+  cycle(20'000);
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u) << "timer rearm allocated";
+  EXPECT_EQ(fired, 0);
+  rto.cancel();
+  while (!q.empty()) q.pop_and_run();
+}
+
+TEST(AllocFree, CancelHeavyCycleIsAllocationFree) {
+  sim::EventQueue q;
+  sim::SimTime now = 0;
+  const auto cycle = [&](int iters) {
+    for (int i = 0; i < iters; ++i) {
+      const sim::EventId id = q.schedule(now + 1'000'000, [] {});
+      q.cancel(id);
+      q.schedule(now + 1, [] {});
+      now = q.pop_and_run();
+    }
+  };
+  cycle(20'000);
+  const std::uint64_t before = g_alloc_count.load();
+  cycle(20'000);
+  const std::uint64_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u) << "cancel/reschedule cycle allocated";
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace mltcp
