@@ -1,0 +1,225 @@
+// Cluster-scale forwarding benchmark: how many simulator events per second
+// the packet path sustains as the workload grows from the paper's dumbbell
+// to a leaf-spine fabric with hundreds of jobs and thousands of flows.
+//
+// Two parts:
+//  - dumbbell scenarios: the fig4/fig6-shaped workloads whose per-packet
+//    cost the forwarding path dominates. These are the perf-gated numbers
+//    (events/sec must not regress; see bench/record_scale_baseline.sh).
+//  - leaf-spine sweep: jobs x flows-per-job scaling (8 -> 256 jobs, up to
+//    ~4k flows) across a racks x spines fabric, recording events/sec, wall
+//    time and peak RSS — the memory-stability evidence for cluster scale.
+//
+// Output: one `RESULT key=value ...` line per run (parsed by
+// record_scale_baseline.sh) plus a CSV in results_dir().
+//
+// Modes:
+//   cluster_scale                  full sweep (8..256 jobs)
+//   cluster_scale --quick          CI smoke point (8 jobs, short windows)
+//   cluster_scale --only=NAME      run only scenarios named NAME
+//                                  (dumbbell | leafspine)
+//   cluster_scale --repeat=N       run each scenario N times, report the
+//                                  fastest (simulated work is identical per
+//                                  repeat; min wall time is the standard
+//                                  noise-robust estimator on shared hosts)
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/mltcp.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "workload/cluster.hpp"
+#include "workload/profiles.hpp"
+
+namespace {
+
+using namespace mltcp;
+
+double peak_rss_mb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+struct RunResult {
+  std::string name;
+  int jobs = 0;
+  int flows = 0;
+  double sim_s = 0.0;
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  double rss_mb = 0.0;
+};
+
+void print_result(const RunResult& r) {
+  std::printf("RESULT name=%s jobs=%d flows=%d sim_s=%.3f events=%" PRIu64
+              " wall_s=%.4f events_per_sec=%.1f peak_rss_mb=%.1f\n",
+              r.name.c_str(), r.jobs, r.flows, r.sim_s, r.events, r.wall_s,
+              r.events_per_sec, r.rss_mb);
+  std::fflush(stdout);
+}
+
+/// Runs `sim` until `deadline` and fills in the measured rates.
+RunResult measure(const std::string& name, int jobs, int flows,
+                  sim::Simulator& sim, sim::SimTime deadline) {
+  RunResult r;
+  r.name = name;
+  r.jobs = jobs;
+  r.flows = flows;
+  r.sim_s = sim::to_seconds(deadline);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(deadline);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.events = sim.events_executed();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.events_per_sec =
+      r.wall_s > 0.0 ? static_cast<double>(r.events) / r.wall_s : 0.0;
+  r.rss_mb = peak_rss_mb();
+  return r;
+}
+
+// ------------------------------------------------------------- dumbbell part
+
+/// The fig4 shape: `n_jobs` MLTCP-Reno jobs with 4 flows each on the shared
+/// dumbbell bottleneck. This is the workload whose events/sec the perf gate
+/// tracks.
+RunResult run_dumbbell(int n_jobs, sim::SimTime window) {
+  bench::ScenarioConfig cfg;
+  cfg.hosts_per_side = n_jobs;
+  auto exp = bench::make_experiment(cfg);
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+  const core::MltcpConfig mcfg =
+      bench::mltcp_config_for(gpt2, cfg.bottleneck_rate_bps);
+  for (int j = 0; j < n_jobs; ++j) {
+    bench::ProfileJobOptions opts;
+    opts.start_time = sim::milliseconds(40 * j);
+    bench::add_profile_job(*exp, gpt2, j, core::mltcp_reno_factory(mcfg),
+                           opts);
+  }
+  exp->cluster->start_all();
+  return measure("dumbbell", n_jobs, n_jobs * 4, exp->sim, window);
+}
+
+// ------------------------------------------------------------ leaf-spine part
+
+/// One scale point: `n_jobs` jobs of `flows_per_job` flows each on a
+/// racks x spines fabric. Jobs are placed round-robin on rack pairs
+/// (rack r -> rack r+1), so neighbouring jobs share ToR uplinks and the
+/// spine layer spreads flows by ECMP where available.
+RunResult run_leaf_spine(int n_jobs, int flows_per_job, sim::SimTime window) {
+  sim::Simulator sim;
+  net::LeafSpineConfig ls_cfg;
+  ls_cfg.racks = 16;
+  ls_cfg.hosts_per_rack = 16;
+  ls_cfg.spines = 4;
+  ls_cfg.host_rate_bps = 4e9;
+  ls_cfg.fabric_rate_bps = 1e9;
+  net::LeafSpine ls = net::make_leaf_spine(sim, ls_cfg);
+
+  const workload::ModelProfile gpt2 = workload::gpt2_profile();
+  const std::int64_t total_bytes =
+      workload::comm_bytes(gpt2, ls_cfg.fabric_rate_bps);
+  core::MltcpConfig mcfg;
+  mcfg.tracker.total_bytes = total_bytes / flows_per_job;
+  mcfg.tracker.comp_time = workload::compute_time(gpt2) / 2;
+
+  workload::Cluster cluster(sim);
+  for (int j = 0; j < n_jobs; ++j) {
+    const int src_rack = j % ls_cfg.racks;
+    const int dst_rack = (src_rack + 1) % ls_cfg.racks;
+    const int base_host = (j / ls_cfg.racks) % ls_cfg.hosts_per_rack;
+    workload::JobSpec spec;
+    spec.name = "job" + std::to_string(j);
+    for (int f = 0; f < flows_per_job; ++f) {
+      const int h = (base_host + f) % ls_cfg.hosts_per_rack;
+      spec.flows.push_back(workload::FlowSpec{
+          ls.racks[src_rack][h], ls.racks[dst_rack][h],
+          total_bytes / flows_per_job});
+    }
+    spec.compute_time = workload::compute_time(gpt2);
+    spec.start_time = sim::milliseconds(10 * (j % 64));
+    spec.cc = core::mltcp_reno_factory(mcfg);
+    cluster.add_job(spec);
+  }
+  cluster.start_all();
+  return measure("leafspine", n_jobs, n_jobs * flows_per_job, sim, window);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int repeat = 1;
+  std::string only;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--only=", 7) == 0) only = argv[i] + 7;
+    if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      repeat = std::max(1, std::atoi(argv[i] + 9));
+    }
+  }
+  const auto selected = [&only](const char* name) {
+    return only.empty() || only == name;
+  };
+  // Every repeat simulates the identical event sequence; only the wall time
+  // varies (host noise), so keeping the fastest run measures the code, not
+  // the neighbours.
+  const auto best_of = [repeat](const auto& run) {
+    RunResult best = run();
+    for (int i = 1; i < repeat; ++i) {
+      RunResult r = run();
+      if (r.wall_s < best.wall_s) best = r;
+    }
+    return best;
+  };
+
+  bench::print_header(quick ? "cluster scale (quick)" : "cluster scale");
+  std::vector<RunResult> results;
+
+  // Dumbbell: the perf-gated scenarios. Windows sized so each run executes
+  // tens of millions of events — long enough to dominate setup cost.
+  if (selected("dumbbell")) {
+    results.push_back(
+        best_of([&] { return run_dumbbell(2, sim::seconds(quick ? 4 : 20)); }));
+    results.push_back(
+        best_of([&] { return run_dumbbell(8, sim::seconds(quick ? 2 : 10)); }));
+  }
+
+  // Leaf-spine sweep: scaling in job count at a fixed fan-out.
+  if (selected("leafspine")) {
+    const int flows_per_job = 16;
+    std::vector<int> sweep = quick ? std::vector<int>{8}
+                                   : std::vector<int>{8, 32, 64, 128, 256};
+    for (const int jobs : sweep) {
+      const sim::SimTime window =
+          quick ? sim::milliseconds(1500) : sim::seconds(jobs >= 128 ? 2 : 4);
+      results.push_back(best_of(
+          [&] { return run_leaf_spine(jobs, flows_per_job, window); }));
+    }
+  }
+
+  for (const RunResult& r : results) print_result(r);
+
+  auto csv = bench::open_csv(
+      "cluster_scale", {"name", "jobs", "flows", "sim_s", "events", "wall_s",
+                        "events_per_sec", "peak_rss_mb"});
+  for (const RunResult& r : results) {
+    csv->row({r.name, std::to_string(r.jobs), std::to_string(r.flows),
+              std::to_string(r.sim_s), std::to_string(r.events),
+              std::to_string(r.wall_s), std::to_string(r.events_per_sec),
+              std::to_string(r.rss_mb)});
+  }
+  return 0;
+}

@@ -133,6 +133,63 @@ void BM_IterationTrackerOnAck(benchmark::State& state) {
 }
 BENCHMARK(BM_IterationTrackerOnAck);
 
+// pFabric steady state at a held backlog: every iteration admits one packet
+// into a full queue (forcing the eviction rule) and dequeues the best one.
+// Cost must stay logarithmic in the backlog — the min-max heap's point over
+// the ordered-container rebuild, which went linear under overload.
+void BM_PfabricAdmissionDequeue(benchmark::State& state) {
+  const std::int64_t depth = state.range(0);
+  net::PfabricPriorityQueue q(depth * 1500);
+  std::uint64_t rng = 0x9E3779B97F4A7C15ULL;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  const auto make = [&next](std::int64_t i) {
+    net::Packet p;
+    p.seq = i;
+    p.size_bytes = 1500;
+    p.priority = static_cast<std::int64_t>(next() % 1024);
+    return p;
+  };
+  std::int64_t i = 0;
+  while (q.backlog_packets() < static_cast<std::size_t>(depth)) {
+    q.enqueue(make(i++), 0);
+  }
+  std::int64_t sink = 0;
+  for (auto _ : state) {
+    q.enqueue(make(i++), 0);  // Full: admits by eviction or drops.
+    if (auto pkt = q.dequeue(0)) sink += pkt->seq;
+    q.enqueue(make(i++), 0);  // Refill so the backlog is held at `depth`.
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PfabricAdmissionDequeue)->RangeMultiplier(8)->Range(16, 8192);
+
+// Route-table construction for a cluster-sized fabric: one BFS per
+// destination host over the adjacency (O(hosts * edges); see
+// Topology::route_build_stats()). Argument = racks at 16 hosts/rack,
+// 4 spines — 256 racks routes a 4096-host fabric per iteration.
+void BM_BuildRoutesLeafSpine(benchmark::State& state) {
+  sim::Simulator sim;
+  net::LeafSpineConfig cfg;
+  cfg.racks = static_cast<int>(state.range(0));
+  cfg.hosts_per_rack = 16;
+  cfg.spines = 4;
+  net::LeafSpine ls = net::make_leaf_spine(sim, cfg);
+  for (auto _ : state) {
+    ls.topology->build_routes();
+    benchmark::DoNotOptimize(ls.tors[0]->route(ls.racks.back().back()->id()));
+  }
+  const auto& st = ls.topology->route_build_stats();
+  state.SetItemsProcessed(state.iterations() * st.destinations);
+  state.counters["edges_scanned"] = static_cast<double>(st.edges_scanned);
+}
+BENCHMARK(BM_BuildRoutesLeafSpine)->RangeMultiplier(4)->Range(4, 256);
+
 void BM_PacketTransferOneMegabyte(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Records cluster-scale forwarding numbers into results/BENCH_scale.json so
+# the events/sec trajectory of the packet path is tracked in-repo.
+#
+# Runs bench/cluster_scale (RESULT lines: dumbbell scenarios + leaf-spine
+# jobs x flows sweep) and merges the parsed numbers into the JSON file.
+# Existing sections other than the one being written are preserved, so the
+# recorded pre-change "baseline" section survives re-runs.
+#
+# Usage:
+#   bench/record_scale_baseline.sh                  # record into "current"
+#   SECTION=baseline bench/record_scale_baseline.sh # record a named section
+#   QUICK=1 ...                                     # CI smoke sweep point
+#   REPEAT=3 ...                                    # best-of-N per scenario
+#     (identical simulated work per repeat; min wall time suppresses
+#     shared-host noise)
+#   CHECK_AGAINST=baseline TOLERANCE=0.10 ...       # after recording, exit 1
+#     if any run present in both sections regressed events/sec by more than
+#     TOLERANCE. Note: the recorded section was measured on the machine that
+#     ran this script, so cross-machine comparisons gate only coarse
+#     regressions — the in-repo baseline is the pre-change tree on the
+#     recording machine.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="$ROOT/results/BENCH_scale.json"
+SECTION="${SECTION:-current}"
+QUICK="${QUICK:-0}"
+REPEAT="${REPEAT:-1}"
+CHECK_AGAINST="${CHECK_AGAINST:-}"
+TOLERANCE="${TOLERANCE:-0.10}"
+
+RAW="$BUILD/cluster_scale.txt"
+ARGS=()
+if [ "$QUICK" = "1" ]; then ARGS+=(--quick); fi
+if [ "$REPEAT" != "1" ]; then ARGS+=(--repeat="$REPEAT"); fi
+
+MLTCP_RESULTS_DIR="${MLTCP_RESULTS_DIR:-$ROOT/results}" \
+  "$BUILD/bench/cluster_scale" "${ARGS[@]+"${ARGS[@]}"}" | tee "$RAW"
+
+python3 - "$OUT" "$SECTION" "$RAW" "$CHECK_AGAINST" "$TOLERANCE" <<'PY'
+import json, re, sys
+
+out_path, section, raw_path, check_against, tolerance = sys.argv[1:6]
+tolerance = float(tolerance)
+
+runs = []
+with open(raw_path) as f:
+    for line in f:
+        if not line.startswith("RESULT "):
+            continue
+        kv = dict(item.split("=", 1) for item in line.split()[1:])
+        runs.append({
+            "name": kv["name"],
+            "jobs": int(kv["jobs"]),
+            "flows": int(kv["flows"]),
+            "sim_s": float(kv["sim_s"]),
+            "events": int(kv["events"]),
+            "wall_s": float(kv["wall_s"]),
+            "events_per_sec": round(float(kv["events_per_sec"]), 1),
+            "peak_rss_mb": float(kv["peak_rss_mb"]),
+        })
+if not runs:
+    sys.exit("no RESULT lines found in " + raw_path)
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    doc = {"schema": 1, "note": "cluster-scale forwarding benchmark record; "
+           "see bench/record_scale_baseline.sh and DESIGN.md "
+           "'Forwarding path & scale'"}
+
+doc[section] = {"runs": runs}
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote section '{section}' to {out_path}")
+
+if check_against:
+    base = {(r["name"], r["jobs"]): r
+            for r in doc.get(check_against, {}).get("runs", [])}
+    failures = []
+    for r in runs:
+        b = base.get((r["name"], r["jobs"]))
+        if b is None:
+            continue
+        floor = b["events_per_sec"] * (1.0 - tolerance)
+        verdict = "ok" if r["events_per_sec"] >= floor else "REGRESSED"
+        print(f"gate {r['name']} jobs={r['jobs']}: "
+              f"{r['events_per_sec']:.0f} ev/s vs {check_against} "
+              f"{b['events_per_sec']:.0f} (floor {floor:.0f}) -> {verdict}")
+        if verdict != "ok":
+            failures.append(r)
+    if failures:
+        sys.exit(f"{len(failures)} run(s) regressed events/sec by more than "
+                 f"{tolerance:.0%} vs section '{check_against}'")
+PY

@@ -25,13 +25,11 @@ Link::Link(sim::Simulator& simulator, std::string name, double rate_bps,
   queue_->set_trace_context(&sim_, name_.c_str(), track_);
 }
 
-void Link::send(Packet pkt) {
+void Link::send(const Packet& pkt) {
   if (!busy_) {
     // Transmitter idle: the packet bypasses the queue discipline's ordering
-    // but we still run it through enqueue/dequeue so marking policies see it.
-    if (queue_->enqueue(pkt, sim_.now())) {
-      auto next = queue_->dequeue(sim_.now());
-      assert(next.has_value());
+    // but still runs through its admission/marking logic.
+    if (auto next = queue_->enqueue_dequeue(pkt, sim_.now())) {
       start_transmission(*next);
     }
     return;
@@ -39,7 +37,7 @@ void Link::send(Packet pkt) {
   queue_->enqueue(pkt, sim_.now());
 }
 
-void Link::start_transmission(Packet pkt) {
+void Link::start_transmission(const Packet& pkt) {
   busy_ = true;
   const sim::SimTime tx = sim::transmission_time(pkt.size_bytes, rate_bps_);
   for (const auto& obs : observers_) obs(pkt, sim_.now());
@@ -58,10 +56,10 @@ void Link::on_transmission_done() {
   // Hand off to propagation; delivery happens prop_delay_ later. Each packet
   // in flight is its own event, so the closure carries the packet by value —
   // it must stay within the inline-callback budget or every hop would
-  // heap-allocate (the engine's dominant cost before this design).
-  Node* dst = dst_;
-  const Packet pkt = tx_pkt_;
-  auto deliver = [dst, pkt] { dst->receive(pkt); };
+  // heap-allocate (the engine's dominant cost before this design). Captures
+  // initialize straight from the members so the packet is copied once into
+  // the closure and once into slot storage, nothing more.
+  auto deliver = [dst = dst_, pkt = tx_pkt_] { dst->receive(pkt); };
   static_assert(sizeof(deliver) <= sim::kInlineCallbackCapacity,
                 "propagation closure outgrew the inline-callback budget");
   sim_.schedule(prop_delay_, std::move(deliver));

@@ -31,7 +31,7 @@ class Link {
 
   /// Offers a packet for transmission. Queues (or drops, per the queue
   /// discipline) if the transmitter is busy.
-  void send(Packet pkt);
+  void send(const Packet& pkt);
 
   double rate_bps() const { return rate_bps_; }
   sim::SimTime propagation_delay() const { return prop_delay_; }
@@ -54,7 +54,7 @@ class Link {
   std::uint64_t trace_track() const { return track_; }
 
  private:
-  void start_transmission(Packet pkt);
+  void start_transmission(const Packet& pkt);
   void on_transmission_done();
 
   sim::Simulator& sim_;

@@ -6,7 +6,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <set>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
@@ -34,10 +34,20 @@ class QueueDiscipline {
   /// Offers a packet to the queue. Returns false if the packet was dropped.
   /// Implementations may instead drop a lower-priority queued packet to admit
   /// this one (pFabric).
-  virtual bool enqueue(Packet pkt, sim::SimTime now) = 0;
+  virtual bool enqueue(const Packet& pkt, sim::SimTime now) = 0;
 
   /// Removes and returns the next packet to transmit, or nullopt when empty.
   virtual std::optional<Packet> dequeue(sim::SimTime now) = 0;
+
+  /// Single-call enqueue-then-dequeue, used by a link whose transmitter is
+  /// idle: admission, marking, statistics and RNG consumption are identical
+  /// to enqueue() followed by dequeue(). Disciplines whose empty-queue path
+  /// is trivial override this to skip the buffer round-trip.
+  virtual std::optional<Packet> enqueue_dequeue(const Packet& pkt,
+                                                sim::SimTime now) {
+    if (!enqueue(pkt, now)) return std::nullopt;
+    return dequeue(now);
+  }
 
   virtual bool empty() const = 0;
   virtual std::int64_t backlog_bytes() const = 0;
@@ -71,13 +81,48 @@ class QueueDiscipline {
 /// Factory used by topology builders so each link gets its own queue.
 using QueueFactory = std::function<std::unique_ptr<QueueDiscipline>()>;
 
+/// Power-of-two ring buffer of packets backing the FIFO disciplines.
+/// Head/tail are monotonic counters masked into the buffer, so wraparound
+/// is a single AND. Grows geometrically (relinearising the contents) and
+/// never shrinks: once a queue has seen its working depth it runs
+/// allocation-free — the forwarding half of the steady-state alloc-free
+/// guarantee (see DESIGN.md "Forwarding path & scale").
+class PacketRing {
+ public:
+  bool empty() const { return head_ == tail_; }
+  std::size_t size() const { return static_cast<std::size_t>(tail_ - head_); }
+  std::size_t capacity() const { return buf_.size(); }
+
+  /// Appends a copy of `pkt` and returns a reference to the stored slot, so
+  /// disciplines that mark on enqueue (ECN CE) can mutate in place instead
+  /// of copying twice.
+  Packet& push_back(const Packet& pkt) {
+    if (size() == buf_.size()) grow();
+    Packet& slot = buf_[tail_++ & mask_];
+    slot = pkt;
+    return slot;
+  }
+  const Packet& front() const { return buf_[head_ & mask_]; }
+  void pop_front() { ++head_; }
+
+ private:
+  void grow();
+
+  std::vector<Packet> buf_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t head_ = 0;  ///< Monotonic; buffer index is head_ & mask_.
+  std::uint64_t tail_ = 0;
+};
+
 /// FIFO with a byte-capacity bound; arrivals beyond capacity are dropped.
 class DropTailQueue : public QueueDiscipline {
  public:
   explicit DropTailQueue(std::int64_t capacity_bytes);
 
-  bool enqueue(Packet pkt, sim::SimTime now) override;
+  bool enqueue(const Packet& pkt, sim::SimTime now) override;
   std::optional<Packet> dequeue(sim::SimTime now) override;
+  std::optional<Packet> enqueue_dequeue(const Packet& pkt,
+                                        sim::SimTime now) override;
   bool empty() const override { return q_.empty(); }
   std::int64_t backlog_bytes() const override { return backlog_; }
   std::size_t backlog_packets() const override { return q_.size(); }
@@ -87,7 +132,7 @@ class DropTailQueue : public QueueDiscipline {
  private:
   std::int64_t capacity_;
   std::int64_t backlog_ = 0;
-  std::deque<Packet> q_;
+  PacketRing q_;
 };
 
 /// DCTCP-style queue: drop-tail admission plus ECN CE marking of ECN-capable
@@ -98,8 +143,10 @@ class EcnThresholdQueue : public QueueDiscipline {
   EcnThresholdQueue(std::int64_t capacity_bytes,
                     std::int64_t mark_threshold_bytes);
 
-  bool enqueue(Packet pkt, sim::SimTime now) override;
+  bool enqueue(const Packet& pkt, sim::SimTime now) override;
   std::optional<Packet> dequeue(sim::SimTime now) override;
+  std::optional<Packet> enqueue_dequeue(const Packet& pkt,
+                                        sim::SimTime now) override;
   bool empty() const override { return q_.empty(); }
   std::int64_t backlog_bytes() const override { return backlog_; }
   std::size_t backlog_packets() const override { return q_.size(); }
@@ -110,39 +157,60 @@ class EcnThresholdQueue : public QueueDiscipline {
   std::int64_t capacity_;
   std::int64_t mark_threshold_;
   std::int64_t backlog_ = 0;
-  std::deque<Packet> q_;
+  PacketRing q_;
 };
 
 /// pFabric priority queue: dequeues the packet with the smallest priority
 /// value (fewest remaining bytes). When full, admits a higher-priority
 /// arrival by evicting the lowest-priority resident packet.
+///
+/// Backed by a min-max heap (Atkinson et al., CACM 1986) of 24-byte keys
+/// over a slot-stable packet store: dequeue pops the min, eviction pops the
+/// max, both O(log n) — admission under overload no longer pays a full
+/// ordered-container rebalance per evicted packet, and deep backlogs stay
+/// cheap. The key order (priority, arrival_seq) and the eviction rule are
+/// identical to the original multiset implementation, so drop decisions and
+/// dequeue order are byte-for-byte unchanged.
 class PfabricPriorityQueue : public QueueDiscipline {
  public:
   explicit PfabricPriorityQueue(std::int64_t capacity_bytes);
 
-  bool enqueue(Packet pkt, sim::SimTime now) override;
+  bool enqueue(const Packet& pkt, sim::SimTime now) override;
   std::optional<Packet> dequeue(sim::SimTime now) override;
-  bool empty() const override { return q_.empty(); }
+  std::optional<Packet> enqueue_dequeue(const Packet& pkt,
+                                        sim::SimTime now) override;
+  bool empty() const override { return heap_.empty(); }
   std::int64_t backlog_bytes() const override { return backlog_; }
-  std::size_t backlog_packets() const override { return q_.size(); }
+  std::size_t backlog_packets() const override { return heap_.size(); }
 
  private:
-  struct Entry {
-    Packet pkt;
-    std::uint64_t arrival_seq;  ///< FIFO tiebreak within a priority level.
+  /// Total order (priority, seq): seq is the arrival number, the FIFO
+  /// tiebreak within a priority level. `slot` indexes store_.
+  struct Key {
+    std::int64_t priority;
+    std::uint64_t seq;
+    std::uint32_t slot;
   };
-  struct ByPriority {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.pkt.priority != b.pkt.priority)
-        return a.pkt.priority < b.pkt.priority;
-      return a.arrival_seq < b.arrival_seq;
-    }
-  };
+  static bool key_less(const Key& a, const Key& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq < b.seq;
+  }
+
+  std::size_t max_index() const;
+  void push_key(Key k);
+  /// Removes heap_[i] (i must be 0 or max_index()) and restores the heap.
+  Key take_at(std::size_t i);
+  template <bool kMin>
+  void bubble_up(std::size_t i);
+  template <bool kMin>
+  void trickle_down(std::size_t i);
 
   std::int64_t capacity_;
   std::int64_t backlog_ = 0;
   std::uint64_t arrivals_ = 0;
-  std::multiset<Entry, ByPriority> q_;
+  std::vector<Key> heap_;      ///< Min-max heap on (priority, seq).
+  std::vector<Packet> store_;  ///< Slot-stable packet storage.
+  std::vector<std::uint32_t> free_slots_;
 };
 
 /// Deficit round robin (Shreedhar & Varghese): per-flow FIFOs served in a
@@ -153,7 +221,7 @@ class DrrQueue : public QueueDiscipline {
  public:
   DrrQueue(std::int64_t capacity_bytes, std::int64_t quantum_bytes = 1500);
 
-  bool enqueue(Packet pkt, sim::SimTime now) override;
+  bool enqueue(const Packet& pkt, sim::SimTime now) override;
   std::optional<Packet> dequeue(sim::SimTime now) override;
   bool empty() const override { return backlog_ == 0; }
   std::int64_t backlog_bytes() const override { return backlog_; }
@@ -196,7 +264,7 @@ class RedQueue : public QueueDiscipline {
 
   explicit RedQueue(Config cfg);
 
-  bool enqueue(Packet pkt, sim::SimTime now) override;
+  bool enqueue(const Packet& pkt, sim::SimTime now) override;
   std::optional<Packet> dequeue(sim::SimTime now) override;
   bool empty() const override { return q_.empty(); }
   std::int64_t backlog_bytes() const override { return backlog_; }
@@ -212,7 +280,7 @@ class RedQueue : public QueueDiscipline {
   double avg_ = 0.0;
   sim::SimTime idle_since_ = 0;  ///< When the queue went empty; -1 = busy.
   std::uint64_t rng_state_;
-  std::deque<Packet> q_;
+  PacketRing q_;
 };
 
 /// Decorator injecting i.i.d. Bernoulli packet loss in front of another
@@ -224,7 +292,7 @@ class RandomDropQueue : public QueueDiscipline {
   RandomDropQueue(std::unique_ptr<QueueDiscipline> inner,
                   double drop_probability, std::uint64_t seed);
 
-  bool enqueue(Packet pkt, sim::SimTime now) override;
+  bool enqueue(const Packet& pkt, sim::SimTime now) override;
   std::optional<Packet> dequeue(sim::SimTime now) override;
   bool empty() const override { return inner_->empty(); }
   std::int64_t backlog_bytes() const override {

@@ -1,8 +1,8 @@
 #include "net/topology.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <deque>
-#include <unordered_map>
+#include <chrono>
 
 namespace mltcp::net {
 
@@ -12,6 +12,8 @@ Host* Topology::add_host(const std::string& name) {
   Host* ptr = host.get();
   nodes_.push_back(std::move(host));
   hosts_.push_back(ptr);
+  adjacency_.emplace_back();
+  is_switch_.push_back(0);
   return ptr;
 }
 
@@ -19,8 +21,11 @@ Switch* Topology::add_switch(const std::string& name) {
   const auto id = static_cast<NodeId>(nodes_.size());
   auto sw = std::make_unique<Switch>(id, name);
   Switch* ptr = sw.get();
+  ptr->set_trace_context(&sim_);
   nodes_.push_back(std::move(sw));
   switches_.push_back(ptr);
+  adjacency_.emplace_back();
+  is_switch_.push_back(1);
   return ptr;
 }
 
@@ -34,7 +39,7 @@ void Topology::connect(Node& a, Node& b, double rate_bps, sim::SimTime delay,
     Link* ptr = link.get();
     links_.push_back(std::move(link));
     by_endpoints_[{from.id(), to.id()}] = ptr;
-    adjacency_[from.id()].emplace_back(to.id(), ptr);
+    adjacency_[static_cast<std::size_t>(from.id())].emplace_back(to.id(), ptr);
     if (auto* host = dynamic_cast<Host*>(&from)) host->set_uplink(ptr);
     return ptr;
   };
@@ -43,34 +48,70 @@ void Topology::connect(Node& a, Node& b, double rate_bps, sim::SimTime delay,
 }
 
 void Topology::build_routes() {
-  // BFS from every switch: the first hop taken out of the switch is
-  // propagated to every node discovered through it.
-  for (Switch* sw : switches_) {
-    std::unordered_map<NodeId, Link*> first_hop;
-    std::deque<NodeId> frontier;
-    first_hop[sw->id()] = nullptr;
-    frontier.push_back(sw->id());
-    while (!frontier.empty()) {
-      const NodeId cur = frontier.front();
-      frontier.pop_front();
-      auto it = adjacency_.find(cur);
-      if (it == adjacency_.end()) continue;
-      // Hosts do not forward transit traffic.
-      if (cur != sw->id() && dynamic_cast<Host*>(node(cur)) != nullptr)
-        continue;
-      for (const auto& [next, link] : it->second) {
-        if (first_hop.count(next) > 0) continue;
-        first_hop[next] = (cur == sw->id()) ? link : first_hop[cur];
-        frontier.push_back(next);
-      }
-    }
-    for (const Host* host : hosts_) {
-      auto it = first_hop.find(host->id());
-      if (it != first_hop.end() && it->second != nullptr) {
-        sw->set_route(host->id(), it->second);
-      }
-    }
+  const auto t0 = std::chrono::steady_clock::now();
+  route_stats_ = RouteBuildStats{};
+  for (const auto& adj : adjacency_) {
+    route_stats_.directed_edges += static_cast<std::int64_t>(adj.size());
   }
+
+  const std::size_t n = nodes_.size();
+  for (Switch* sw : switches_) sw->clear_routes(n);
+
+  // One BFS per destination host, over the reverse graph (links are paired,
+  // so adjacency doubles as reverse adjacency). dist[v] is v's hop count to
+  // the destination; a switch's equal-cost next hops are its neighbours one
+  // hop closer. Hosts do not forward transit traffic, so only the
+  // destination itself and switches are expanded.
+  std::vector<std::int32_t> dist(n);
+  std::vector<NodeId> frontier;
+  frontier.reserve(n);
+  std::vector<Link*> ecmp;
+  for (const Host* dst_host : hosts_) {
+    const NodeId d = dst_host->id();
+    std::fill(dist.begin(), dist.end(), -1);
+    frontier.clear();
+    dist[static_cast<std::size_t>(d)] = 0;
+    frontier.push_back(d);
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const auto u = static_cast<std::size_t>(frontier[head]);
+      if (frontier[head] != d && !is_switch_[u]) continue;
+      for (const auto& [v, link] : adjacency_[u]) {
+        ++route_stats_.edges_scanned;
+        const auto vi = static_cast<std::size_t>(v);
+        if (dist[vi] < 0) {
+          dist[vi] = dist[u] + 1;
+          frontier.push_back(v);
+        }
+      }
+    }
+    for (Switch* sw : switches_) {
+      const auto s = static_cast<std::size_t>(sw->id());
+      if (dist[s] <= 0) continue;
+      ecmp.clear();
+      for (const auto& [v, link] : adjacency_[s]) {
+        ++route_stats_.edges_scanned;
+        const auto vi = static_cast<std::size_t>(v);
+        // A valid next hop is one hop closer and able to deliver: the
+        // destination itself or a forwarding switch. Adjacency (connect)
+        // order fixes the candidate order — seed-stable ECMP.
+        if (dist[vi] == dist[s] - 1 && (v == d || is_switch_[vi])) {
+          ecmp.push_back(link);
+        }
+      }
+      if (!ecmp.empty()) sw->set_routes(d, ecmp);
+    }
+    ++route_stats_.destinations;
+  }
+
+  route_stats_.build_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  // O(V·E) guard: each destination touches every directed edge at most
+  // twice (once discovering distances, once collecting ECMP candidates).
+  assert(route_stats_.edges_scanned <=
+         2 * route_stats_.directed_edges *
+             std::max<std::int64_t>(route_stats_.destinations, 1));
 }
 
 Link* Topology::link_between(const Node& a, const Node& b) const {

@@ -13,8 +13,19 @@
 
 namespace mltcp::net {
 
+/// Cost accounting for one build_routes() pass, exposed so tests and
+/// benchmarks can assert the build is O(V·E): one BFS per destination host,
+/// never per (source, destination) pair.
+struct RouteBuildStats {
+  std::int64_t destinations = 0;    ///< Hosts routed to (BFS roots).
+  std::int64_t directed_edges = 0;  ///< Directed links in the topology.
+  std::int64_t edges_scanned = 0;   ///< Adjacency entries touched, total.
+  double build_ms = 0.0;            ///< Wall time of the pass.
+};
+
 /// Owns every node and link of one simulated network and computes static
-/// shortest-path routes.
+/// shortest-path routes (with equal-cost sets where the fabric offers
+/// multiple shortest paths — see Switch::set_routes for the ECMP contract).
 class Topology {
  public:
   explicit Topology(sim::Simulator& simulator) : sim_(simulator) {}
@@ -30,9 +41,15 @@ class Topology {
   void connect(Node& a, Node& b, double rate_bps, sim::SimTime delay,
                const QueueFactory& queue_factory);
 
-  /// Populates every switch's forwarding table with BFS shortest paths.
+  /// Populates every switch's forwarding table with BFS shortest paths,
+  /// installing the full equal-cost next-hop set at every switch. One BFS
+  /// per destination host: O(hosts · edges) total, so cluster-sized fabrics
+  /// build in milliseconds (see route_build_stats()).
   /// Must be called after all connect() calls and before traffic starts.
   void build_routes();
+
+  /// Costs of the most recent build_routes() pass.
+  const RouteBuildStats& route_build_stats() const { return route_stats_; }
 
   /// The directed link from `a` to `b`, or nullptr if they are not adjacent.
   Link* link_between(const Node& a, const Node& b) const;
@@ -52,7 +69,12 @@ class Topology {
   std::vector<Host*> hosts_;
   std::vector<Switch*> switches_;
   std::map<std::pair<NodeId, NodeId>, Link*> by_endpoints_;
-  std::map<NodeId, std::vector<std::pair<NodeId, Link*>>> adjacency_;
+  /// Outgoing (neighbour, link) pairs per node, indexed by the dense
+  /// NodeId; entries appear in connect() order, which fixes ECMP candidate
+  /// order.
+  std::vector<std::vector<std::pair<NodeId, Link*>>> adjacency_;
+  std::vector<std::uint8_t> is_switch_;  ///< Indexed by NodeId.
+  RouteBuildStats route_stats_;
 };
 
 /// A dumbbell: `hosts_per_side` hosts on each side of a two-switch

@@ -43,19 +43,35 @@ void EventQueue::sift_up(std::size_t i) {
   heap_[i] = e;
 }
 
+std::size_t EventQueue::min_child(std::size_t first_child,
+                                  std::size_t n) const {
+  if (first_child + 4 <= n) {
+    // Full group of four: a fixed tournament of three compares, each a
+    // conditional move — no data-dependent branches on effectively random
+    // heap keys.
+    const std::size_t a =
+        before(heap_[first_child + 1], heap_[first_child]) ? first_child + 1
+                                                           : first_child;
+    const std::size_t b =
+        before(heap_[first_child + 3], heap_[first_child + 2])
+            ? first_child + 3
+            : first_child + 2;
+    return before(heap_[b], heap_[a]) ? b : a;
+  }
+  std::size_t best = first_child;
+  for (std::size_t c = first_child + 1; c < n; ++c) {
+    best = before(heap_[c], heap_[best]) ? c : best;
+  }
+  return best;
+}
+
 void EventQueue::sift_down(std::size_t i) const {
   const std::size_t n = heap_.size();
   const HeapEntry e = heap_[i];
   for (;;) {
     const std::size_t first_child = 4 * i + 1;
     if (first_child >= n) break;
-    // Smallest of up to four children: one cache span of 24-byte entries.
-    std::size_t best = first_child;
-    const std::size_t last_child =
-        first_child + 4 < n ? first_child + 4 : n;
-    for (std::size_t c = first_child + 1; c < last_child; ++c) {
-      if (before(heap_[c], heap_[best])) best = c;
-    }
+    const std::size_t best = min_child(first_child, n);
     if (!before(heap_[best], e)) break;
     heap_[i] = heap_[best];
     i = best;
@@ -80,13 +96,7 @@ void EventQueue::pop_front() const {
   for (;;) {
     const std::size_t first_child = 4 * i + 1;
     if (first_child >= n) break;
-    std::size_t best = first_child;
-    const std::size_t last_child =
-        first_child + 4 < n ? first_child + 4 : n;
-    for (std::size_t c = first_child + 1; c < last_child; ++c) {
-      best = before(heap_[c], heap_[best]) ? c : best;
-    }
-    i = best;
+    i = min_child(first_child, n);
     path[++depth] = i;
   }
   while (depth > 0 && !before(heap_[path[depth]], e)) --depth;
@@ -156,6 +166,28 @@ SimTime EventQueue::next_time() const {
   if (live_ == 0) return kTimeInfinity;
   drop_dead_front();
   return heap_[0].when;
+}
+
+bool EventQueue::pop_and_run_before(SimTime deadline, SimTime* clock) {
+  drop_dead_front();
+  assert(!heap_.empty() && "pop on empty queue");
+  const SimTime when = heap_[0].when;
+  if (when > deadline) return false;
+  *clock = when;
+  const std::uint32_t slot = heap_[0].slot;
+  SlotPayload& p = payload(slot);
+  __builtin_prefetch(&p);
+  pop_front();
+  ++gens_[slot];  // consumed: odd -> even (no stale entry; it just popped)
+  --live_;
+  if (p.timer == nullptr) {
+    p.fn();
+    p.fn.reset();
+    release_slot(slot);
+  } else {
+    p.timer->fn_();
+  }
+  return true;
 }
 
 SimTime EventQueue::pop_and_run() {

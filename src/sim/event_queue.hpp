@@ -81,6 +81,15 @@ class EventQueue {
   /// Precondition: !empty().
   SimTime pop_and_run();
 
+  /// Fused peek + pop for the simulator's run loop: if the next live event
+  /// fires at or before `deadline`, stores its timestamp to `*clock` (before
+  /// invoking the callback, so the clock reads the event's time while it
+  /// executes), runs it, and returns true. Otherwise leaves the event queued
+  /// and returns false. One front-of-heap inspection per event instead of
+  /// the two a separate next_time()/pop_and_run() pair costs.
+  /// Precondition: !empty().
+  bool pop_and_run_before(SimTime deadline, SimTime* clock);
+
   std::uint64_t total_scheduled() const { return seq_; }
 
   /// Backing-store sizes, exposed so tests can assert that cancel-heavy
@@ -155,6 +164,9 @@ class EventQueue {
 
   void push_entry(SimTime when, std::uint32_t slot, std::uint32_t gen);
   void sift_up(std::size_t i);
+  /// Index of the smallest of the up-to-four children starting at
+  /// `first_child` (heap size `n`).
+  std::size_t min_child(std::size_t first_child, std::size_t n) const;
   void sift_down(std::size_t i) const;
   void pop_front() const;
   /// Removes cancelled entries sitting at the heap top.

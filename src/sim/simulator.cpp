@@ -5,10 +5,9 @@ namespace mltcp::sim {
 void Simulator::run() {
   stopped_ = false;
   while (!stopped_ && !queue_.empty()) {
-    // The clock reads the event's timestamp while the event executes, so it
-    // is advanced before pop_and_run invokes the callback.
-    now_ = queue_.next_time();
-    queue_.pop_and_run();
+    // pop_and_run_before advances the clock before invoking the callback, so
+    // the clock reads the event's timestamp while the event executes.
+    queue_.pop_and_run_before(kTimeInfinity, &now_);
     ++executed_;
   }
 }
@@ -16,10 +15,7 @@ void Simulator::run() {
 void Simulator::run_until(SimTime deadline) {
   stopped_ = false;
   while (!stopped_ && !queue_.empty()) {
-    const SimTime when = queue_.next_time();
-    if (when > deadline) break;
-    now_ = when;
-    queue_.pop_and_run();
+    if (!queue_.pop_and_run_before(deadline, &now_)) break;
     ++executed_;
   }
   if (!stopped_ && now_ < deadline) now_ = deadline;

@@ -10,17 +10,19 @@ TcpFlow::TcpFlow(sim::Simulator& simulator, net::Host& src, net::Host& dst,
                                         std::move(cc), sender_cfg);
   receiver_ = std::make_unique<TcpReceiver>(simulator, dst, src.id(), flow,
                                             receiver_cfg);
-  src_.register_flow(flow, [this](const net::Packet& p) {
+  src_handle_ = src_.register_flow(flow, [this](const net::Packet& p) {
     sender_->on_packet(p);
   });
-  dst_.register_flow(flow, [this](const net::Packet& p) {
+  dst_handle_ = dst_.register_flow(flow, [this](const net::Packet& p) {
     receiver_->on_packet(p);
   });
 }
 
 TcpFlow::~TcpFlow() {
-  src_.unregister_flow(flow_);
-  dst_.unregister_flow(flow_);
+  // Generation-checked: if the id was reused after this flow was replaced,
+  // the stale handles leave the new registration untouched.
+  src_.unregister_flow(src_handle_);
+  dst_.unregister_flow(dst_handle_);
 }
 
 }  // namespace mltcp::tcp

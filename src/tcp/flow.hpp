@@ -38,6 +38,8 @@ class TcpFlow {
   net::Host& src_;
   net::Host& dst_;
   net::FlowId flow_;
+  net::Host::FlowHandle src_handle_;
+  net::Host::FlowHandle dst_handle_;
   std::unique_ptr<TcpSender> sender_;
   std::unique_ptr<TcpReceiver> receiver_;
 };

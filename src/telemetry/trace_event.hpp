@@ -67,5 +67,11 @@ constexpr std::uint64_t track_job(std::uint64_t job_ordinal) {
 constexpr std::uint64_t track_link(std::uint64_t link_ordinal) {
   return 2'000'000 + link_ordinal;
 }
+/// Keyed by the switch's NodeId (dense, assigned by the topology) rather
+/// than a trace ordinal, so giving a switch a track does not shift the
+/// construction-order ordinals links rely on.
+constexpr std::uint64_t track_switch(std::int64_t node_id) {
+  return 3'000'000 + static_cast<std::uint64_t>(node_id);
+}
 
 }  // namespace mltcp::telemetry
