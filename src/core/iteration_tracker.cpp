@@ -31,11 +31,18 @@ void IterationTracker::on_ack(int num_acks, sim::SimTime now) {
     // Algorithm 1 lines 10-13: start of a new training iteration.
     ++iterations_seen_;
     // The triggering ACK's bytes belong to the *new* iteration; exclude them
-    // from the completed burst.
+    // from the completed burst and credit them to the fresh iteration's
+    // bytes_sent_ and burst_bytes_ alike. (Crediting only burst_bytes_ made
+    // bytes_ratio start one ACK low each iteration, diverging from the
+    // bursts the learner calibrates against.)
     if (learning_) learn_from_boundary(gap, burst_bytes_ - acked_bytes);
-    bytes_ratio_ = 0.0;
-    bytes_sent_ = 0;
-    burst_bytes_ = acked_bytes;  // this ACK belongs to the new iteration
+    bytes_sent_ = acked_bytes;
+    burst_bytes_ = acked_bytes;
+    bytes_ratio_ =
+        total_bytes_ > 0
+            ? std::min(1.0, static_cast<double>(bytes_sent_) /
+                                static_cast<double>(total_bytes_))
+            : 0.0;
   } else if (total_bytes_ > 0) {
     // Algorithm 1 line 16.
     bytes_ratio_ = std::min(

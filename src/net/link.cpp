@@ -26,6 +26,15 @@ Link::Link(sim::Simulator& simulator, std::string name, double rate_bps,
 }
 
 void Link::send(const Packet& pkt) {
+  // Fault gate: two flag tests and a double compare on the healthy path.
+  if (!up_ || blackhole_) {
+    ++fault_drops_;
+    return;
+  }
+  if (fault_p_ > 0.0 && next_fault_uniform() < fault_p_) {
+    ++fault_drops_;
+    return;
+  }
   if (!busy_) {
     // Transmitter idle: the packet bypasses the queue discipline's ordering
     // but still runs through its admission/marking logic.
@@ -70,6 +79,40 @@ void Link::on_transmission_done() {
   } else {
     busy_ = false;
   }
+}
+
+void Link::set_up(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  if (up) return;  // Healing needs no local cleanup; senders re-probe.
+  // The cut loses the packet being serialized and everything buffered.
+  if (busy_) {
+    tx_timer_.cancel();
+    busy_ = false;
+    ++fault_drops_;
+  }
+  while (queue_->dequeue(sim_.now()).has_value()) ++fault_drops_;
+}
+
+void Link::set_rate_bps(double rate_bps) {
+  assert(rate_bps > 0.0);
+  rate_bps_ = rate_bps;
+}
+
+void Link::set_fault_drop(double probability, std::uint64_t seed) {
+  assert(probability >= 0.0 && probability <= 1.0);
+  fault_p_ = probability;
+  if (probability > 0.0) fault_rng_ = seed;
+}
+
+double Link::next_fault_uniform() {
+  // splitmix64: deterministic per-link stream, independent of global state.
+  fault_rng_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = fault_rng_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
 }
 
 double Link::utilization(sim::SimTime now) const {

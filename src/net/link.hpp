@@ -38,6 +38,39 @@ class Link {
   const std::string& name() const { return name_; }
   Node* destination() const { return dst_; }
 
+  // -- Administrative / fault state (driven by the scenario engine) --------
+
+  bool up() const { return up_; }
+  /// Takes the link down or brings it back up. Going down aborts the packet
+  /// on the transmitter, drains the queue (all counted as fault drops) and
+  /// silently drops every subsequent send() until the link comes back.
+  /// Packets already in propagation still deliver — they left the link
+  /// before the cut. The aborted serialization stays in busy_time_
+  /// (sub-packet error, documented rather than tracked).
+  void set_up(bool up);
+
+  /// Renegotiates the line rate mid-run (e.g. an autoneg downshift).
+  /// Applies from the next serialization; the packet currently on the
+  /// transmitter finishes at the old rate.
+  void set_rate_bps(double rate_bps);
+
+  /// Blackhole fault: the link stays administratively up (routes keep
+  /// pointing at it) but deterministically drops every offered packet.
+  /// Models a forwarding-plane fault the control plane has not noticed.
+  void set_blackhole(bool on) { blackhole_ = on; }
+  bool blackhole() const { return blackhole_; }
+
+  /// Probabilistic drop-burst fault: each offered packet is dropped with
+  /// `probability`, decided by a splitmix64 stream seeded here. Pass 0 to
+  /// clear. The stream is only advanced while the fault is active, so runs
+  /// without faults consume no randomness and stay byte-identical.
+  void set_fault_drop(double probability, std::uint64_t seed);
+  double fault_drop_probability() const { return fault_p_; }
+
+  /// Packets lost to down/blackhole/drop-burst faults (including packets
+  /// drained from the queue when the link went down).
+  std::int64_t fault_drops() const { return fault_drops_; }
+
   QueueDiscipline& queue() { return *queue_; }
   const QueueDiscipline& queue() const { return *queue_; }
 
@@ -56,6 +89,7 @@ class Link {
  private:
   void start_transmission(const Packet& pkt);
   void on_transmission_done();
+  double next_fault_uniform();
 
   sim::Simulator& sim_;
   std::string name_;
@@ -71,6 +105,11 @@ class Link {
   Packet tx_pkt_{};  ///< The packet currently on the transmitter.
 
   bool busy_ = false;
+  bool up_ = true;
+  bool blackhole_ = false;
+  double fault_p_ = 0.0;
+  std::uint64_t fault_rng_ = 0;
+  std::int64_t fault_drops_ = 0;
   std::int64_t bytes_tx_ = 0;
   std::int64_t packets_tx_ = 0;
   sim::SimTime busy_time_ = 0;

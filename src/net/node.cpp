@@ -62,6 +62,23 @@ void Switch::clear_routes(std::size_t n_nodes) {
   pool_.clear();
 }
 
+void Switch::clear_route(NodeId dst) {
+  const auto idx = static_cast<std::size_t>(dst);
+  if (idx < routes_.size()) routes_[idx] = RouteEntry{};
+}
+
+void Switch::routes_using(const Link* link, std::vector<NodeId>& out) const {
+  for (std::size_t dst = 0; dst < routes_.size(); ++dst) {
+    const RouteEntry e = routes_[dst];
+    for (std::uint32_t i = 0; i < e.count; ++i) {
+      if (pool_[e.base + i] == link) {
+        out.push_back(static_cast<NodeId>(dst));
+        break;
+      }
+    }
+  }
+}
+
 Link* Switch::route(NodeId dst) const {
   const auto idx = static_cast<std::uint32_t>(dst);
   if (idx >= routes_.size() || routes_[idx].count == 0) return nullptr;

@@ -48,11 +48,33 @@ class Topology {
   /// Must be called after all connect() calls and before traffic starts.
   void build_routes();
 
-  /// Costs of the most recent build_routes() pass.
+  /// Costs of the most recent route pass — full build_routes() or an
+  /// incremental set_link_state repair (whose `destinations` then counts
+  /// only the destinations actually re-routed).
   const RouteBuildStats& route_build_stats() const { return route_stats_; }
+
+  /// Flips one directed link's administrative state and repairs routes.
+  /// Link-down is incremental: only destinations whose installed routes use
+  /// the link are re-BFSed (discovered by scanning switch route tables).
+  /// Link-up triggers a full rebuild — a healed link can shorten the path
+  /// to any destination, so there is no cheap sound subset. BFS discovery
+  /// checks the forward link of each pair (exact when both directions flip
+  /// together via set_link_pair_state; an approximation for asymmetric
+  /// single-direction faults, where the ECMP candidate check is still
+  /// exact). No-op if the link is already in the requested state.
+  void set_link_state(Link* link, bool up);
+
+  /// Flips both directions between `a` and `b` (the common fault model:
+  /// a cable cut takes out the pair). Repairs routes once for the union of
+  /// affected destinations.
+  void set_link_pair_state(Node& a, Node& b, bool up);
 
   /// The directed link from `a` to `b`, or nullptr if they are not adjacent.
   Link* link_between(const Node& a, const Node& b) const;
+
+  /// Node lookup by construction name (linear scan; nullptr if absent).
+  /// Scenario scripts reference nodes by name, resolved once at apply time.
+  Node* find_node(const std::string& name) const;
 
   const std::vector<Host*>& hosts() const { return hosts_; }
   const std::vector<Switch*>& switches() const { return switches_; }
@@ -63,6 +85,17 @@ class Topology {
   sim::Simulator& simulator() { return sim_; }
 
  private:
+  /// One BFS from destination `d` over the reverse graph, installing (or
+  /// clearing) every switch's route towards `d`. Skips down links. The
+  /// scratch vectors are caller-owned so a pass over many destinations
+  /// reuses them.
+  void rebuild_destination(NodeId d, std::vector<std::int32_t>& dist,
+                           std::vector<NodeId>& frontier,
+                           std::vector<Link*>& ecmp);
+  /// Incremental repair shared by the set_link_state entry points:
+  /// re-routes exactly `affected` (sorted, deduped) destinations.
+  void repair_destinations(std::vector<NodeId>& affected);
+
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;

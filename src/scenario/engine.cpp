@@ -1,0 +1,184 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "tcp/flow.hpp"
+#include "tcp/reno.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace mltcp::scenario {
+
+const char* action_name(const Action& action) {
+  struct Namer {
+    const char* operator()(const LinkDown&) const { return "link_down"; }
+    const char* operator()(const LinkUp&) const { return "link_up"; }
+    const char* operator()(const LinkRate&) const { return "link_rate"; }
+    const char* operator()(const Blackhole& b) const {
+      return b.on ? "blackhole_on" : "blackhole_off";
+    }
+    const char* operator()(const DropBurst& d) const {
+      return d.probability > 0.0 ? "drop_burst_on" : "drop_burst_off";
+    }
+    const char* operator()(const JobDeparture&) const {
+      return "job_departure";
+    }
+    const char* operator()(const Straggler&) const { return "straggler"; }
+    const char* operator()(const JobArrival&) const { return "job_arrival"; }
+    const char* operator()(const BackgroundBurst&) const {
+      return "background_burst";
+    }
+  };
+  return std::visit(Namer{}, action);
+}
+
+ScenarioEngine::ScenarioEngine(sim::Simulator& simulator,
+                               net::Topology& topology,
+                               workload::Cluster& cluster)
+    : sim_(simulator),
+      topo_(topology),
+      cluster_(cluster),
+      ctx_(simulator, topology, cluster),
+      timer_(simulator, [this] { on_timer(); }) {}
+
+void ScenarioEngine::install(const Scenario& scenario) {
+  assert(events_.empty() && "install() must be called at most once");
+  if (scenario.empty()) return;  // Nothing scheduled: zero perturbation.
+  events_ = scenario.events();
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+  next_ = 0;
+  timer_.arm_at(events_.front().at);
+}
+
+void ScenarioEngine::on_timer() {
+  while (next_ < events_.size() && events_[next_].at <= sim_.now()) {
+    apply(events_[next_]);
+    ++next_;
+  }
+  if (next_ < events_.size()) timer_.arm_at(events_[next_].at);
+}
+
+void ScenarioEngine::apply(const Event& e) {
+  struct Applier {
+    ScenarioEngine& eng;
+    bool operator()(const LinkDown& a) {
+      net::Node* na = eng.topo_.find_node(a.node_a);
+      net::Node* nb = eng.topo_.find_node(a.node_b);
+      assert(na != nullptr && nb != nullptr && "unknown node in LinkDown");
+      if (na == nullptr || nb == nullptr) return false;
+      eng.topo_.set_link_pair_state(*na, *nb, false);
+      return true;
+    }
+    bool operator()(const LinkUp& a) {
+      net::Node* na = eng.topo_.find_node(a.node_a);
+      net::Node* nb = eng.topo_.find_node(a.node_b);
+      assert(na != nullptr && nb != nullptr && "unknown node in LinkUp");
+      if (na == nullptr || nb == nullptr) return false;
+      eng.topo_.set_link_pair_state(*na, *nb, true);
+      return true;
+    }
+    bool operator()(const LinkRate& a) {
+      net::Node* na = nullptr;
+      net::Node* nb = nullptr;
+      net::Link* fwd = eng.resolve_link(a.node_a, a.node_b, &na, &nb);
+      if (fwd == nullptr) return false;
+      net::Link* rev = eng.topo_.link_between(*nb, *na);
+      fwd->set_rate_bps(a.rate_bps);
+      if (rev != nullptr) rev->set_rate_bps(a.rate_bps);
+      return true;
+    }
+    bool operator()(const Blackhole& a) {
+      net::Link* link = eng.resolve_link(a.node_a, a.node_b);
+      if (link == nullptr) return false;
+      link->set_blackhole(a.on);
+      return true;
+    }
+    bool operator()(const DropBurst& a) {
+      net::Link* link = eng.resolve_link(a.node_a, a.node_b);
+      if (link == nullptr) return false;
+      link->set_fault_drop(a.probability, a.seed);
+      return true;
+    }
+    bool operator()(const JobDeparture& a) {
+      workload::Job* job = eng.cluster_.find_job(a.job);
+      assert(job != nullptr && "unknown job in JobDeparture");
+      if (job == nullptr) return false;
+      job->stop();
+      return true;
+    }
+    bool operator()(const Straggler& a) {
+      workload::Job* job = eng.cluster_.find_job(a.job);
+      assert(job != nullptr && "unknown job in Straggler");
+      if (job == nullptr) return false;
+      job->inject_straggler(a.iterations, a.extra_compute);
+      return true;
+    }
+    bool operator()(const JobArrival& a) {
+      assert(a.spawn != nullptr);
+      if (a.spawn == nullptr) return false;
+      a.spawn(eng.ctx_);
+      return true;
+    }
+    bool operator()(const BackgroundBurst& a) {
+      tcp::TcpFlow* flow = eng.background_flow(a.src_host, a.dst_host);
+      if (flow == nullptr) return false;
+      flow->send_message(a.bytes, [](sim::SimTime) {});
+      return true;
+    }
+  };
+  if (std::visit(Applier{*this}, e.action)) {
+    ++applied_;
+    trace_applied(e);
+  } else {
+    ++skipped_;
+  }
+}
+
+net::Link* ScenarioEngine::resolve_link(const std::string& a,
+                                        const std::string& b,
+                                        net::Node** node_a,
+                                        net::Node** node_b) {
+  net::Node* na = topo_.find_node(a);
+  net::Node* nb = topo_.find_node(b);
+  assert(na != nullptr && nb != nullptr && "unknown node in link action");
+  if (na == nullptr || nb == nullptr) return nullptr;
+  net::Link* link = topo_.link_between(*na, *nb);
+  assert(link != nullptr && "nodes are not adjacent");
+  if (node_a != nullptr) *node_a = na;
+  if (node_b != nullptr) *node_b = nb;
+  return link;
+}
+
+tcp::TcpFlow* ScenarioEngine::background_flow(int src_host, int dst_host) {
+  const auto& hosts = topo_.hosts();
+  assert(src_host >= 0 && static_cast<std::size_t>(src_host) < hosts.size());
+  assert(dst_host >= 0 && static_cast<std::size_t>(dst_host) < hosts.size());
+  if (src_host < 0 || dst_host < 0 ||
+      static_cast<std::size_t>(src_host) >= hosts.size() ||
+      static_cast<std::size_t>(dst_host) >= hosts.size()) {
+    return nullptr;
+  }
+  auto [it, inserted] = bg_flows_.try_emplace({src_host, dst_host}, nullptr);
+  if (inserted) {
+    // Legacy traffic is classic Reno — the non-MLTCP competitor of the
+    // paper's fairness experiments.
+    workload::FlowSpec fs;
+    fs.src = hosts[static_cast<std::size_t>(src_host)];
+    fs.dst = hosts[static_cast<std::size_t>(dst_host)];
+    it->second = cluster_.add_flow(
+        fs, [] { return std::make_unique<tcp::RenoCC>(); });
+  }
+  return it->second;
+}
+
+void ScenarioEngine::trace_applied(const Event& e) {
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kFault)) {
+    t->instant(telemetry::Category::kFault, action_name(e.action), sim_.now(),
+               telemetry::track_scenario(), "applied",
+               static_cast<double>(applied_));
+  }
+}
+
+}  // namespace mltcp::scenario

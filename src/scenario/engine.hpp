@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "workload/cluster.hpp"
+
+namespace mltcp::tcp {
+class TcpFlow;
+}
+
+namespace mltcp::scenario {
+
+/// What a JobArrival callback sees: the run's own world, so arrivals build
+/// their JobSpec against this run's hosts and start the job in place.
+class EngineContext {
+ public:
+  EngineContext(sim::Simulator& simulator, net::Topology& topology,
+                workload::Cluster& cluster)
+      : sim_(simulator), topo_(topology), cluster_(cluster) {}
+
+  sim::Simulator& simulator() { return sim_; }
+  net::Topology& topology() { return topo_; }
+  workload::Cluster& cluster() { return cluster_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::Topology& topo_;
+  workload::Cluster& cluster_;
+};
+
+/// Replays a Scenario against one simulation run. One engine per run; the
+/// engine must outlive the run (it owns the replay timer and the context
+/// handed to arrival callbacks).
+///
+/// Determinism: the replay is a pure function of the scenario and the run's
+/// seed — events fire in (time, insertion-order) order off a single timer,
+/// faults consume randomness only from their own per-link streams, and an
+/// empty scenario schedules nothing at all, leaving the run byte-identical
+/// to one without an engine.
+class ScenarioEngine {
+ public:
+  ScenarioEngine(sim::Simulator& simulator, net::Topology& topology,
+                 workload::Cluster& cluster);
+
+  ScenarioEngine(const ScenarioEngine&) = delete;
+  ScenarioEngine& operator=(const ScenarioEngine&) = delete;
+
+  /// Installs the scenario and schedules its replay. Call once, before (or
+  /// during) the run; events whose time is already past fire immediately.
+  void install(const Scenario& scenario);
+
+  /// Events applied so far.
+  int applied_events() const { return applied_; }
+  /// Events dropped because a named target did not resolve (asserts in
+  /// debug builds; released binaries skip and count).
+  int skipped_events() const { return skipped_; }
+
+ private:
+  void on_timer();
+  void apply(const Event& e);
+  net::Link* resolve_link(const std::string& a, const std::string& b,
+                          net::Node** node_a = nullptr,
+                          net::Node** node_b = nullptr);
+  tcp::TcpFlow* background_flow(int src_host, int dst_host);
+  void trace_applied(const Event& e);
+
+  sim::Simulator& sim_;
+  net::Topology& topo_;
+  workload::Cluster& cluster_;
+  EngineContext ctx_;
+  std::vector<Event> events_;  ///< Sorted by (at, insertion order).
+  std::size_t next_ = 0;
+  sim::Timer timer_;
+  /// Engine-owned legacy flows, keyed by (src, dst) host index so repeated
+  /// bursts between a pair share one connection.
+  std::map<std::pair<int, int>, tcp::TcpFlow*> bg_flows_;
+  int applied_ = 0;
+  int skipped_ = 0;
+};
+
+}  // namespace mltcp::scenario

@@ -24,6 +24,16 @@ struct AckContext {
   bool ece = false;
   /// RTT sample from the timestamp option, or -1 when unusable (Karn).
   sim::SimTime rtt_sample = -1;
+  /// Segments eligible for *window growth*; -1 means "same as num_acked".
+  /// The sender bounds this on the ACK that exits fast recovery: that
+  /// cumulative ACK spans the whole recovery episode, and crediting every
+  /// segment of it to congestion avoidance inflates cwnd far beyond what a
+  /// single ACK event may add (RFC 6582 exits with cwnd ~= ssthresh).
+  /// Byte accounting (MLTCP's tracker) always uses num_acked.
+  int ca_acked = -1;
+
+  /// What controllers feed their window arithmetic.
+  int window_acked() const { return ca_acked >= 0 ? ca_acked : num_acked; }
 };
 
 /// Hook that scales the congestion-avoidance window increase. This is the

@@ -36,7 +36,7 @@ void CubicCC::on_ack(const AckContext& ctx) {
   if (ctx.rtt_sample > 0) last_rtt_ = ctx.rtt_sample;
 
   if (in_slow_start()) {
-    cwnd_ += ctx.num_acked;
+    cwnd_ += ctx.window_acked();
     if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
     return;
   }
@@ -62,7 +62,7 @@ void CubicCC::on_ack(const AckContext& ctx) {
   } else {
     increment = 0.01 / cwnd_;  // slow drift, as in the kernel's min growth
   }
-  cwnd_ += gain_->gain() * increment * static_cast<double>(ctx.num_acked);
+  cwnd_ += gain_->gain() * increment * static_cast<double>(ctx.window_acked());
 }
 
 void CubicCC::on_loss(sim::SimTime now) {

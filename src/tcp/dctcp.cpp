@@ -35,11 +35,11 @@ void DctcpCC::on_ack(const AckContext& ctx) {
   if (ctx.ack_seq >= window_end_seq_) end_of_window(ctx.ack_seq);
 
   if (in_slow_start()) {
-    cwnd_ += ctx.num_acked;
+    cwnd_ += ctx.window_acked();
     if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
     return;
   }
-  cwnd_ += gain_->gain() * static_cast<double>(ctx.num_acked) / cwnd_;
+  cwnd_ += gain_->gain() * static_cast<double>(ctx.window_acked()) / cwnd_;
 }
 
 void DctcpCC::on_loss(sim::SimTime /*now*/) {

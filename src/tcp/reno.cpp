@@ -16,11 +16,11 @@ void RenoCC::on_ack(const AckContext& ctx) {
   if (in_slow_start()) {
     // Slow start doubles per RTT regardless of the aggressiveness function:
     // MLTCP (Alg. 1) scales only the congestion-avoidance increment.
-    cwnd_ += ctx.num_acked;
+    cwnd_ += ctx.window_acked();
     if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;  // do not overshoot into CA
     return;
   }
-  cwnd_ += gain_->gain() * static_cast<double>(ctx.num_acked) / cwnd_;
+  cwnd_ += gain_->gain() * static_cast<double>(ctx.window_acked()) / cwnd_;
 }
 
 void RenoCC::on_loss(sim::SimTime /*now*/) {

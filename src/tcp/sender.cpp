@@ -16,7 +16,7 @@ TcpSender::TcpSender(sim::Simulator& simulator, net::Host& local,
       flow_(flow),
       cc_(std::move(cc)),
       cfg_(cfg),
-      rtt_(cfg.min_rto),
+      rtt_(cfg.min_rto, cfg.max_rto),
       rto_timer_(simulator, [this] { on_rto(); }),
       pace_timer_(simulator, [this] { try_send(); }) {
   assert(cc_ != nullptr);
@@ -99,6 +99,22 @@ std::int32_t TcpSender::payload_for_seq(std::int64_t seq) const {
   return payload_per_segment();
 }
 
+std::int64_t TcpSender::remaining_payload_bytes() const {
+  // Messages are popped only once fully acknowledged, so every queued
+  // message still owes bytes. Within the partially acked front message all
+  // acknowledged segments are full-size (the short one is the last, and a
+  // message with its last segment acked would already be popped).
+  std::int64_t remaining = 0;
+  for (const Message& m : messages_) {
+    remaining += m.bytes;
+    if (snd_una_ > m.start_seq && snd_una_ < m.end_seq) {
+      remaining -= (snd_una_ - m.start_seq) *
+                   static_cast<std::int64_t>(payload_per_segment());
+    }
+  }
+  return remaining;
+}
+
 void TcpSender::send_segment(std::int64_t seq, bool retransmission) {
   net::Packet pkt;
   pkt.flow = flow_;
@@ -111,8 +127,11 @@ void TcpSender::send_segment(std::int64_t seq, bool retransmission) {
   pkt.ecn_capable = cc_->wants_ecn();
   pkt.tx_timestamp = sim_.now();
   if (cfg_.pfabric_priority) {
-    // Remaining bytes of the flow's outstanding work, per pFabric.
-    pkt.priority = (send_limit_ - snd_una_) * cfg_.mtu;
+    // Remaining application bytes of the flow's outstanding work, per
+    // pFabric. Counting segments * MTU would include headers and pad the
+    // final short segment, biasing SRPT order against flows whose tail
+    // segment is small.
+    pkt.priority = remaining_payload_bytes();
   }
   ++stats_.data_packets_sent;
   if (retransmission) {
@@ -211,16 +230,29 @@ void TcpSender::handle_new_ack(const net::Packet& pkt) {
       in_recovery_ = false;
       dup_acks_ = 0;
       rexmit_epoch_.clear();
+      // The full ACK that exits recovery cumulatively covers the whole
+      // recovery episode. Feeding all of it to congestion avoidance would
+      // grow cwnd by ~gain in one step right after the halving (double the
+      // per-RTT budget); bound the exit ACK's window credit to a single
+      // ACK's worth while byte accounting keeps the full num_acked.
+      ctx.ca_acked = std::min(num_acked, 1);
       cc_->on_ack(ctx);
-    } else if (cfg_.use_sack) {
-      // Partial ACK with SACK: the new front hole was either never sent or
-      // its retransmission was itself lost — make it eligible again, then
-      // plug the reported holes.
-      rexmit_epoch_.erase(snd_una_, snd_una_ + 1);
-      retransmit_sack_holes(2);
     } else {
-      // Partial ACK (NewReno): the next hole is lost too; retransmit it.
-      send_segment(snd_una_, /*retransmission=*/true);
+      // Partial ACK: the window is frozen (no cc_->on_ack), but Algorithm 1
+      // line 7 counts every acknowledged byte — without this the bytes
+      // acked by partial ACKs never reach the MLTCP tracker and
+      // bytes_ratio under-reports for the rest of the iteration.
+      cc_->window_gain().on_ack(ctx);
+      if (cfg_.use_sack) {
+        // With SACK: the new front hole was either never sent or its
+        // retransmission was itself lost — make it eligible again, then
+        // plug the reported holes.
+        rexmit_epoch_.erase(snd_una_, snd_una_ + 1);
+        retransmit_sack_holes(2);
+      } else {
+        // NewReno: the next hole is lost too; retransmit it.
+        send_segment(snd_una_, /*retransmission=*/true);
+      }
     }
   } else {
     dup_acks_ = 0;

@@ -18,6 +18,11 @@ namespace mltcp::tcp {
 struct SenderConfig {
   std::int32_t mtu = net::kDefaultMtu;
   sim::SimTime min_rto = sim::milliseconds(1);
+  /// Ceiling of the exponential RTO backoff. During a long blackout (link
+  /// down, scenario fault) the sender keeps probing at most this far apart,
+  /// so recovery latency after the path heals is bounded by max_rto instead
+  /// of growing without limit.
+  sim::SimTime max_rto = sim::seconds(60);
   /// When true, data packets carry their flow's remaining bytes as the
   /// pFabric priority.
   bool pfabric_priority = false;
@@ -105,6 +110,10 @@ class TcpSender {
   /// Payload bytes segment `seq` carries: a full MSS except for the final
   /// segment of a message, which carries only the message's remainder.
   std::int32_t payload_for_seq(std::int64_t seq) const;
+  /// Application bytes of the flow not yet cumulatively acknowledged — the
+  /// true pFabric remaining-size priority (headers excluded, the final
+  /// short segment not padded to a full MTU).
+  std::int64_t remaining_payload_bytes() const;
   void handle_new_ack(const net::Packet& pkt);
   void handle_dup_ack();
   void absorb_sack(const net::Packet& pkt);

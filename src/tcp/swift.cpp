@@ -20,7 +20,7 @@ void SwiftCC::on_ack(const AckContext& ctx) {
   if (ctx.rtt_sample > 0) last_delay_ = ctx.rtt_sample;
 
   if (last_delay_ <= cfg_.target_delay || last_delay_ == 0) {
-    cwnd_ += gain_->gain() * static_cast<double>(ctx.num_acked) / cwnd_;
+    cwnd_ += gain_->gain() * static_cast<double>(ctx.window_acked()) / cwnd_;
     return;
   }
   if (can_decrease(ctx.now)) {

@@ -29,6 +29,7 @@ const char* category_name(Category c) {
     case Category::kFlow: return "flow";
     case Category::kLink: return "link";
     case Category::kCustom: return "custom";
+    case Category::kFault: return "fault";
   }
   return "?";
 }

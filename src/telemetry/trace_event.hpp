@@ -18,6 +18,7 @@ enum class Category : std::uint32_t {
   kFlow = 1u << 5,    ///< FlowMonitor cwnd/gain counter samples.
   kLink = 1u << 6,    ///< Link-level transmission events.
   kCustom = 1u << 7,  ///< Experiment-defined events.
+  kFault = 1u << 8,   ///< Scenario engine: applied faults and churn events.
 };
 
 constexpr std::uint32_t category_bit(Category c) {
@@ -73,5 +74,8 @@ constexpr std::uint64_t track_link(std::uint64_t link_ordinal) {
 constexpr std::uint64_t track_switch(std::int64_t node_id) {
   return 3'000'000 + static_cast<std::uint64_t>(node_id);
 }
+/// Single shared track for the scenario engine's applied-fault instants, so
+/// a run's fault timeline renders as one row above the per-entity tracks.
+constexpr std::uint64_t track_scenario() { return 4'000'000; }
 
 }  // namespace mltcp::telemetry

@@ -42,8 +42,27 @@ Job* Cluster::add_job(const JobSpec& spec) {
   return ptr;
 }
 
+tcp::TcpFlow* Cluster::add_flow(const FlowSpec& fs, const tcp::CcFactory& cc,
+                                const tcp::SenderConfig& sender,
+                                const tcp::ReceiverConfig& receiver) {
+  assert(cc != nullptr && fs.src != nullptr && fs.dst != nullptr);
+  auto flow = std::make_unique<tcp::TcpFlow>(sim_, *fs.src, *fs.dst,
+                                             next_flow_id_++, cc(), sender,
+                                             receiver);
+  tcp::TcpFlow* ptr = flow.get();
+  flows_.push_back(std::move(flow));
+  return ptr;
+}
+
 void Cluster::start_all() {
   for (auto& job : jobs_) job->start();
+}
+
+Job* Cluster::find_job(const std::string& name) const {
+  for (const auto& job : jobs_) {
+    if (job->name() == name) return job.get();
+  }
+  return nullptr;
 }
 
 }  // namespace mltcp::workload

@@ -43,10 +43,23 @@ class Cluster {
   Cluster& operator=(const Cluster&) = delete;
 
   /// Creates flows and the job state machine. The job is not started.
+  /// Safe mid-run: scenario-driven job arrivals call this after start_all()
+  /// and then start() the returned job themselves.
   Job* add_job(const JobSpec& spec);
+
+  /// Creates a standalone flow (no job state machine) with a cluster-unique
+  /// id. Scenario-driven background/legacy traffic posts messages on it
+  /// directly; the cluster owns its lifetime.
+  tcp::TcpFlow* add_flow(const FlowSpec& fs, const tcp::CcFactory& cc,
+                         const tcp::SenderConfig& sender = {},
+                         const tcp::ReceiverConfig& receiver = {});
 
   /// Starts every job added so far.
   void start_all();
+
+  /// Job lookup by spec name (linear scan; nullptr if absent). Scenario
+  /// scripts reference jobs by name, resolved at apply time.
+  Job* find_job(const std::string& name) const;
 
   const std::vector<std::unique_ptr<Job>>& jobs() const { return jobs_; }
   Job* job(std::size_t i) const { return jobs_.at(i).get(); }

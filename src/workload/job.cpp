@@ -24,7 +24,18 @@ void Job::start() {
   sim_.schedule_at(cfg_.start_time, [this] { begin_iteration(); });
 }
 
+void Job::stop() {
+  running_ = false;
+}
+
+void Job::inject_straggler(int iterations, sim::SimTime extra_compute) {
+  assert(iterations >= 0 && extra_compute >= 0);
+  straggler_iters_ = iterations;
+  straggler_extra_ = extra_compute;
+}
+
 void Job::begin_iteration() {
+  if (!running_) return;  // Stopped between scheduling and firing.
   comm_start_ = sim_.now();
   current_chunk_ = 0;
   if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kJob)) {
@@ -34,6 +45,7 @@ void Job::begin_iteration() {
 }
 
 void Job::send_current_chunk() {
+  if (!running_) return;
   const int chunks = std::max(cfg_.comm_chunks, 1);
   flows_pending_ = static_cast<int>(flows_.size());
   for (auto& binding : flows_) {
@@ -47,6 +59,7 @@ void Job::send_current_chunk() {
 }
 
 void Job::on_flow_complete(sim::SimTime when) {
+  if (!running_) return;  // Late completion of a stopped job's bytes.
   assert(flows_pending_ > 0);
   if (--flows_pending_ > 0) return;
 
@@ -68,11 +81,16 @@ void Job::on_flow_complete(sim::SimTime when) {
     compute += sim::from_seconds(
         rng_.normal(0.0, cfg_.noise_stddev_seconds));
   }
+  if (straggler_iters_ > 0) {
+    compute += straggler_extra_;
+    --straggler_iters_;
+  }
   compute = std::max<sim::SimTime>(compute, 0);
   sim_.schedule(compute, [this] { on_compute_done(); });
 }
 
 void Job::on_compute_done() {
+  if (!running_) return;
   records_.push_back(IterationRecord{current_iteration_, comm_start_,
                                      comm_end_, sim_.now()});
   if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kJob)) {

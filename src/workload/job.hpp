@@ -69,6 +69,17 @@ class Job {
   /// Schedules the first communication phase at cfg.start_time.
   void start();
 
+  /// Halts the job (departure / preemption). Already-scheduled phase
+  /// callbacks and in-flight message completions become no-ops; bytes
+  /// already handed to the flows drain normally but complete no further
+  /// iteration. Completed-iteration records stay valid. Idempotent.
+  void stop();
+
+  /// Straggler injection: the next `iterations` compute phases each take
+  /// `extra_compute` longer (on top of configured noise) — one slow worker
+  /// stalling the synchronous barrier. Replaces any previous injection.
+  void inject_straggler(int iterations, sim::SimTime extra_compute);
+
   const std::string& name() const { return cfg_.name; }
   const JobConfig& config() const { return cfg_; }
   const std::vector<FlowBinding>& flows() const { return flows_; }
@@ -106,6 +117,8 @@ class Job {
   std::uint64_t track_;
 
   bool running_ = false;
+  int straggler_iters_ = 0;
+  sim::SimTime straggler_extra_ = 0;
   int current_iteration_ = 0;
   int current_chunk_ = 0;
   int flows_pending_ = 0;

@@ -109,10 +109,12 @@ TEST(IterationTracker, GapTriggersBoundaryReset) {
   EXPECT_EQ(t.iterations_seen(), 0);
   EXPECT_GT(t.bytes_ratio(), 0.9);
   // A gap above COMP_TIME marks the next iteration (Alg. 1 lines 10-13).
+  // The triggering ACK's bytes belong to the new iteration: bytes_sent and
+  // bytes_ratio both restart from that ACK, not from zero.
   t.on_ack(1, sim::milliseconds(50));
   EXPECT_EQ(t.iterations_seen(), 1);
-  EXPECT_DOUBLE_EQ(t.bytes_ratio(), 0.0);
-  EXPECT_EQ(t.bytes_sent(), 0);
+  EXPECT_EQ(t.bytes_sent(), 1500);
+  EXPECT_DOUBLE_EQ(t.bytes_ratio(), 1500.0 / 150'000.0);
 }
 
 TEST(IterationTracker, SubThresholdGapIsNotBoundary) {
@@ -202,15 +204,15 @@ TEST(IterationTracker, UsableAfterLearning) {
   sim::SimTime now = 0;
   feed_iterations(t, 4, 100, sim::milliseconds(200), now);
   ASSERT_TRUE(t.calibrated());
-  // The first ACK after the gap triggers the boundary reset (Algorithm 1
-  // zeroes bytes_sent even for the triggering ACK); ratio rises from the
-  // next ACK on.
+  // The first ACK after the gap triggers the boundary reset and its bytes
+  // are credited to the fresh iteration, so the ratio restarts from one
+  // ACK's worth rather than zero.
   now += sim::milliseconds(1);
   t.on_ack(1, now);
-  EXPECT_DOUBLE_EQ(t.bytes_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(t.bytes_ratio(), 1500.0 / 150'000.0);
   now += sim::milliseconds(1);
   t.on_ack(50, now);
-  EXPECT_NEAR(t.bytes_ratio(), 0.5, 0.02);
+  EXPECT_NEAR(t.bytes_ratio(), 0.51, 0.02);
 }
 
 // ------------------------------------------------------------- MltcpGain
@@ -241,7 +243,9 @@ TEST(MltcpGain, ResetsAtBoundary) {
   ctx.num_acked = 1;
   ctx.now = sim::milliseconds(100);
   gain.on_ack(ctx);
-  EXPECT_DOUBLE_EQ(gain.gain(), 0.25);
+  // The boundary ACK restarts the ratio at its own 1500 bytes:
+  // F(1500/150000) = 1.75 * 0.01 + 0.25.
+  EXPECT_DOUBLE_EQ(gain.gain(), 1.75 * 0.01 + 0.25);
 }
 
 // -------------------------------------------------------------- factories

@@ -459,8 +459,9 @@ TEST(TcpEndToEnd, PfabricPriorityStampsRemainingBytes) {
   pipe.sim.run();
   ASSERT_GT(priorities.size(), 10u);
   EXPECT_GT(priorities.front(), priorities.back());
-  EXPECT_EQ(priorities.front(),
-            pipe.flow->sender().segments_for_bytes(1'000'000) * 1500);
+  // True remaining payload: the message's application bytes, not
+  // segments * MTU (which would count headers and pad the short tail).
+  EXPECT_EQ(priorities.front(), 1'000'000);
 }
 
 }  // namespace

@@ -326,6 +326,68 @@ TEST(RedIdleDecay, DisabledWithZeroIdlePktTime) {
   EXPECT_GE(q.average_queue_bytes(), avg_busy * 0.5);
 }
 
+// ------------------------------------------------- recovery-exit window
+
+TEST(RecoveryExit, FullAckCreditsOneAckOfGrowthNotTheWholeEpisode) {
+  SenderWire w;
+  w.sender->send_message(60 * w.sender->payload_per_segment(),
+                         [](sim::SimTime) {});
+  w.step(sim::microseconds(200));
+  ASSERT_GE(w.data.size(), 10u);
+  w.ack(1, sim::microseconds(2));
+
+  // Three dup ACKs: fast retransmit, window halves to ssthresh.
+  w.ack(1, 0);
+  w.ack(1, 0);
+  w.ack(1, 0);
+  ASSERT_TRUE(w.sender->in_recovery());
+  const std::int64_t recover = w.sender->next_seq();
+  const double cwnd_in_recovery = w.sender->cc().cwnd();
+  const double ssthresh = w.sender->cc().ssthresh();
+  ASSERT_GT(recover, 2);  // the exit ACK spans many segments
+
+  // The full ACK exits recovery covering the whole episode (~recover
+  // segments). RFC 6582: the window exits at ~ssthresh; crediting every
+  // covered segment to congestion avoidance would add recover/cwnd segments
+  // in one step. The fix bounds the exit credit to a single ACK's worth.
+  w.ack(recover, 0);
+  ASSERT_FALSE(w.sender->in_recovery());
+  const double cwnd_after = w.sender->cc().cwnd();
+  EXPECT_GE(cwnd_after, ssthresh) << "window deflated across recovery exit";
+  EXPECT_LE(cwnd_after, cwnd_in_recovery + 1.0 / cwnd_in_recovery + 1e-9)
+      << "recovery exit inflated cwnd beyond one ACK of CA growth";
+}
+
+TEST(RecoveryExit, PartialAcksStillFeedMltcpByteAccounting) {
+  // Partial ACKs freeze the window but Algorithm 1 line 7 counts every
+  // acknowledged byte: the gain hook must see them even in recovery.
+  struct CountingGain : WindowGain {
+    int acked = 0;
+    void on_ack(const AckContext& ctx) override { acked += ctx.num_acked; }
+  };
+  auto gain = std::make_shared<CountingGain>();
+  SenderWire w;
+  w.sender = std::make_unique<TcpSender>(
+      w.sim, *w.a, w.b->id(), 1, std::make_unique<RenoCC>(RenoConfig{}, gain));
+  w.a->register_flow(1,
+                     [&w](const net::Packet& p) { w.sender->on_packet(p); });
+  w.sender->send_message(60 * w.sender->payload_per_segment(),
+                         [](sim::SimTime) {});
+  w.step(sim::microseconds(200));
+  w.ack(1, sim::microseconds(2));
+  w.ack(1, 0);
+  w.ack(1, 0);
+  w.ack(1, 0);
+  ASSERT_TRUE(w.sender->in_recovery());
+
+  // A partial ACK (3 new segments, below the recovery point).
+  const int before = gain->acked;
+  w.ack(4, 0);
+  ASSERT_TRUE(w.sender->in_recovery());
+  EXPECT_EQ(gain->acked, before + 3)
+      << "partial ACK's bytes were lost to the iteration tracker";
+}
+
 // ----------------------------------------------------------- SACK stress
 
 TEST(SackScoreboard, HeavyLossTransferCompletesWithIntervalBookkeeping) {
