@@ -22,11 +22,11 @@ double stddev(const std::vector<double>& xs) {
 }
 
 double percentile(std::vector<double> xs, double p) {
-  assert(!xs.empty());
-  assert(p >= 0.0 && p <= 100.0);
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
   std::sort(xs.begin(), xs.end());
   const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
-  const auto lo = static_cast<std::size_t>(rank);
+  const auto lo = std::min(static_cast<std::size_t>(rank), xs.size() - 1);
   const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
@@ -53,6 +53,36 @@ std::vector<CdfPoint> make_cdf(std::vector<double> xs) {
     out.push_back(CdfPoint{xs[i], static_cast<double>(i + 1) / n});
   }
   return out;
+}
+
+FctStats fct_stats(const std::vector<double>& completed_seconds,
+                   std::size_t open_count) {
+  FctStats s;
+  s.completed = completed_seconds.size();
+  s.open = open_count;
+  if (completed_seconds.empty()) return s;
+  s.mean_s = mean(completed_seconds);
+  s.min_s = *std::min_element(completed_seconds.begin(),
+                              completed_seconds.end());
+  s.max_s = *std::max_element(completed_seconds.begin(),
+                              completed_seconds.end());
+  std::vector<double> sorted = completed_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  // One sort, four interpolated reads: percentile() would re-sort per call.
+  const auto at = [&sorted](double p) {
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = std::min(static_cast<std::size_t>(rank),
+                             sorted.size() - 1);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  s.p50_s = at(50.0);
+  s.p90_s = at(90.0);
+  s.p99_s = at(99.0);
+  s.p999_s = at(99.9);
+  return s;
 }
 
 double interval_overlap_seconds(

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/node.hpp"
+#include "sim/random.hpp"
 #include "telemetry/tracer.hpp"
 
 namespace mltcp::net {
@@ -107,12 +108,7 @@ void Link::set_fault_drop(double probability, std::uint64_t seed) {
 
 double Link::next_fault_uniform() {
   // splitmix64: deterministic per-link stream, independent of global state.
-  fault_rng_ += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = fault_rng_;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return static_cast<double>(z >> 11) * 0x1.0p-53;
+  return sim::splitmix64_uniform(fault_rng_);
 }
 
 double Link::utilization(sim::SimTime now) const {

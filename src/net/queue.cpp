@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "sim/random.hpp"
 #include "telemetry/tracer.hpp"
 
 namespace mltcp::net {
@@ -471,12 +472,7 @@ RandomDropQueue::RandomDropQueue(std::unique_ptr<QueueDiscipline> inner,
 
 bool RandomDropQueue::enqueue(const Packet& pkt, sim::SimTime now) {
   // splitmix64 step; cheap and adequate for Bernoulli drops.
-  state_ += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = state_;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+  const double u = sim::splitmix64_uniform(state_);
   // Only data packets are subject to injected loss; dropping ACKs would test
   // cumulative-ACK robustness, not congestion response.
   if (pkt.type == PacketType::kData && u < p_) {

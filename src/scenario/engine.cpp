@@ -29,6 +29,9 @@ const char* action_name(const Action& action) {
     const char* operator()(const BackgroundBurst&) const {
       return "background_burst";
     }
+    const char* operator()(const TrafficBurst&) const {
+      return "traffic_burst";
+    }
   };
   return std::visit(Namer{}, action);
 }
@@ -127,6 +130,19 @@ void ScenarioEngine::apply(const Event& e) {
       flow->send_message(a.bytes, [](sim::SimTime) {});
       return true;
     }
+    bool operator()(const TrafficBurst& a) {
+      // Each burst owns its source (own connection pool + FCT records);
+      // like BackgroundBurst legacy flows it runs classic Reno, the
+      // non-MLTCP competitor.
+      auto source = std::make_unique<traffic::TrafficSource>(
+          eng.sim_, eng.cluster_, eng.topo_.hosts(),
+          traffic::SourceOptions{
+              [] { return std::make_unique<tcp::RenoCC>(); }, {}, {}});
+      source->install(a.config);
+      eng.traffic_.push_back(std::move(source));
+      eng.traffic_labels_.push_back(a.label);
+      return true;
+    }
   };
   if (std::visit(Applier{*this}, e.action)) {
     ++applied_;
@@ -149,6 +165,14 @@ net::Link* ScenarioEngine::resolve_link(const std::string& a,
   if (node_a != nullptr) *node_a = na;
   if (node_b != nullptr) *node_b = nb;
   return link;
+}
+
+const traffic::TrafficSource* ScenarioEngine::traffic_source(
+    const std::string& label) const {
+  for (std::size_t i = 0; i < traffic_labels_.size(); ++i) {
+    if (traffic_labels_[i] == label) return traffic_[i].get();
+  }
+  return nullptr;
 }
 
 tcp::TcpFlow* ScenarioEngine::background_flow(int src_host, int dst_host) {

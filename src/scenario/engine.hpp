@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "scenario/scenario.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
+#include "traffic/source.hpp"
 #include "workload/cluster.hpp"
 
 namespace mltcp::tcp {
@@ -62,6 +64,17 @@ class ScenarioEngine {
   /// debug builds; released binaries skip and count).
   int skipped_events() const { return skipped_; }
 
+  /// Traffic sources spawned by TrafficBurst events, in apply order, so
+  /// reports can read their FCT records after the run.
+  const std::vector<std::unique_ptr<traffic::TrafficSource>>&
+  traffic_sources() const {
+    return traffic_;
+  }
+  /// The source installed for the TrafficBurst labelled `label` (first
+  /// match; nullptr if that event has not applied).
+  const traffic::TrafficSource* traffic_source(const std::string& label)
+      const;
+
  private:
   void on_timer();
   void apply(const Event& e);
@@ -81,6 +94,9 @@ class ScenarioEngine {
   /// Engine-owned legacy flows, keyed by (src, dst) host index so repeated
   /// bursts between a pair share one connection.
   std::map<std::pair<int, int>, tcp::TcpFlow*> bg_flows_;
+  /// Engine-owned traffic-matrix sources, one per applied TrafficBurst.
+  std::vector<std::unique_ptr<traffic::TrafficSource>> traffic_;
+  std::vector<std::string> traffic_labels_;  ///< Parallel to traffic_.
   int applied_ = 0;
   int skipped_ = 0;
 };

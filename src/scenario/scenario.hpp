@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
+#include "traffic/pattern.hpp"
 
 namespace mltcp::scenario {
 
@@ -89,9 +90,22 @@ struct BackgroundBurst {
   std::int64_t bytes = 0;
 };
 
+/// A whole traffic-matrix stream (Poisson / incast / tornado / all-to-all /
+/// permutation) switched on mid-run: the engine expands the config against
+/// the run's own hosts and replays it on classic-Reno background
+/// connections (traffic::TrafficSource). `config.start/stop` are absolute
+/// simulation times; the event's `at` only controls when the source is
+/// installed. The config is a pure value, so a Scenario carrying one stays
+/// copyable across campaign worker threads, and its per-run arrivals stay
+/// byte-identical at every MLTCP_THREADS.
+struct TrafficBurst {
+  std::string label;
+  traffic::TrafficConfig config;
+};
+
 using Action = std::variant<LinkDown, LinkUp, LinkRate, Blackhole, DropBurst,
                             JobDeparture, Straggler, JobArrival,
-                            BackgroundBurst>;
+                            BackgroundBurst, TrafficBurst>;
 
 /// One scheduled action.
 struct Event {
@@ -145,6 +159,10 @@ class Scenario {
   Scenario& background_burst(sim::SimTime when, int src_host, int dst_host,
                              std::int64_t bytes) {
     return at(when, BackgroundBurst{src_host, dst_host, bytes});
+  }
+  Scenario& traffic_burst(sim::SimTime when, std::string label,
+                          traffic::TrafficConfig config) {
+    return at(when, TrafficBurst{std::move(label), config});
   }
 
   bool empty() const { return events_.empty(); }

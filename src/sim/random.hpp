@@ -4,6 +4,34 @@
 
 namespace mltcp::sim {
 
+/// One splitmix64 step (Steele et al.): advances `state` by the golden-ratio
+/// increment and returns a full-avalanche mix of it. The single shared
+/// definition of the stream the fault/drop/ECMP machinery already uses —
+/// deterministic across runs, machines and thread counts.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from one splitmix64 step.
+constexpr double splitmix64_uniform(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+/// Derives an independent stream seed from a (run seed, component salt)
+/// pair: two splitmix64 steps over the mixed input. Components that draw
+/// randomness inside campaign run bodies (traffic arrivals, per-link fault
+/// streams) must seed from this instead of sharing an Rng, so serial and
+/// MLTCP_THREADS=N executions consume identical streams per run.
+constexpr std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t state = seed ^ (salt * 0xbf58476d1ce4e5b9ULL);
+  splitmix64(state);
+  return splitmix64(state);
+}
+
 /// PCG32 pseudo-random generator (O'Neill, pcg-random.org): small, fast and
 /// statistically strong enough for workload noise. Seeded explicitly so every
 /// experiment is reproducible.

@@ -8,7 +8,8 @@ DctcpCC::DctcpCC(DctcpConfig cfg, std::shared_ptr<WindowGain> gain)
     : CongestionControl(std::move(gain)),
       cfg_(cfg),
       cwnd_(cfg.initial_cwnd),
-      ssthresh_(cfg.initial_ssthresh) {}
+      ssthresh_(cfg.initial_ssthresh),
+      window_end_seq_(static_cast<std::int64_t>(cfg.initial_cwnd)) {}
 
 void DctcpCC::end_of_window(std::int64_t ack_seq) {
   if (acked_in_window_ > 0) {

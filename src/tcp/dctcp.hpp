@@ -39,9 +39,16 @@ class DctcpCC : public CongestionControl {
   DctcpConfig cfg_;
   double cwnd_;
   double ssthresh_;
-  double alpha_ = 0.0;
+  /// RFC 8257 §4.2: Alpha SHOULD be initialized to 1, so a connection that
+  /// meets congestion in its very first marked window halves conservatively
+  /// instead of barely reacting while the EWMA warms up from 0 — the regime
+  /// short incast flows live in.
+  double alpha_ = 1.0;
 
-  // Per-window mark accounting.
+  // Per-window mark accounting. The first observation window ends one
+  // initial-cwnd of segments into the stream (sequence numbers start at 0);
+  // starting it at 0 would close it on the very first ACK, feeding a
+  // single-ACK marked fraction into the EWMA.
   std::int64_t window_end_seq_ = 0;
   std::int64_t acked_in_window_ = 0;
   std::int64_t marked_in_window_ = 0;

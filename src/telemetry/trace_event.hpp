@@ -19,6 +19,7 @@ enum class Category : std::uint32_t {
   kLink = 1u << 6,    ///< Link-level transmission events.
   kCustom = 1u << 7,  ///< Experiment-defined events.
   kFault = 1u << 8,   ///< Scenario engine: applied faults and churn events.
+  kTraffic = 1u << 9, ///< Traffic generator: arrivals and completions.
 };
 
 constexpr std::uint32_t category_bit(Category c) {
@@ -77,5 +78,9 @@ constexpr std::uint64_t track_switch(std::int64_t node_id) {
 /// Single shared track for the scenario engine's applied-fault instants, so
 /// a run's fault timeline renders as one row above the per-entity tracks.
 constexpr std::uint64_t track_scenario() { return 4'000'000; }
+
+/// Single shared track for traffic-generator arrival/completion instants —
+/// background-flow churn renders as one row, like the scenario timeline.
+constexpr std::uint64_t track_traffic() { return 4'000'001; }
 
 }  // namespace mltcp::telemetry

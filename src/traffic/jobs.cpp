@@ -1,0 +1,237 @@
+#include "traffic/jobs.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "tcp/flow.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace mltcp::traffic {
+
+namespace {
+constexpr std::uint64_t kServingSalt = 0x5345u;  // "SE"
+}  // namespace
+
+// ---------------------------------------------------------------- Shuffle
+
+ShuffleJob::ShuffleJob(sim::Simulator& simulator, workload::Cluster& cluster,
+                       ShuffleConfig cfg)
+    : sim_(simulator),
+      cfg_(std::move(cfg)),
+      timer_(simulator, [this] {
+        if (reducing_) {
+          on_reduce_done();
+        } else {
+          begin_wave();
+        }
+      }) {
+  assert(cfg_.cc != nullptr && "ShuffleConfig.cc must be set");
+  assert(!cfg_.mappers.empty() && !cfg_.reducers.empty());
+  flows_.reserve(cfg_.mappers.size() * cfg_.reducers.size());
+  for (net::Host* m : cfg_.mappers) {
+    for (net::Host* r : cfg_.reducers) {
+      // Colocated mapper/reducer pairs exchange through local disk, not the
+      // fabric; they contribute no flow.
+      if (m == r) {
+        flows_.push_back(nullptr);
+        continue;
+      }
+      workload::FlowSpec fs;
+      fs.src = m;
+      fs.dst = r;
+      flows_.push_back(
+          cluster.add_flow(fs, cfg_.cc, cfg_.sender, cfg_.receiver));
+    }
+  }
+}
+
+void ShuffleJob::start() {
+  if (running_) return;
+  running_ = true;
+  timer_.arm_at(cfg_.start_time);
+}
+
+void ShuffleJob::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+std::vector<double> ShuffleJob::completed_fcts_seconds() const {
+  std::vector<double> out;
+  out.reserve(completed_);
+  for (const FctRecord& r : records_) {
+    if (r.done()) out.push_back(r.fct_seconds());
+  }
+  return out;
+}
+
+void ShuffleJob::begin_wave() {
+  if (!running_) return;
+  wave_start_ = sim_.now();
+  pending_transfers_ = 0;
+  const auto n_reducers = static_cast<std::int32_t>(cfg_.reducers.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (flows_[i] == nullptr) continue;
+    const std::size_t record_index = records_.size();
+    records_.push_back(FctRecord{
+        sim_.now(), -1, cfg_.bytes_per_pair,
+        static_cast<std::int32_t>(i) / n_reducers,
+        static_cast<std::int32_t>(i) % n_reducers});
+    ++posted_;
+    ++pending_transfers_;
+    flows_[i]->send_message(
+        cfg_.bytes_per_pair, [this, record_index](sim::SimTime when) {
+          on_transfer_done(record_index, when);
+        });
+  }
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kTraffic)) {
+    t->instant(telemetry::Category::kTraffic, "shuffle_wave_start",
+               sim_.now(), telemetry::track_traffic(), "wave",
+               static_cast<double>(wave_index_));
+  }
+}
+
+void ShuffleJob::on_transfer_done(std::size_t record_index,
+                                  sim::SimTime when) {
+  records_[record_index].completed = when;
+  ++completed_;
+  if (--pending_transfers_ > 0 || !running_) return;
+  // Whole wave landed: the sort/merge phase runs, then the next wave.
+  reducing_ = true;
+  timer_.arm(cfg_.reduce_time);
+}
+
+void ShuffleJob::on_reduce_done() {
+  reducing_ = false;
+  waves_.push_back(sim::to_seconds(sim_.now() - wave_start_));
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kTraffic)) {
+    t->instant(telemetry::Category::kTraffic, "shuffle_wave_done", sim_.now(),
+               telemetry::track_traffic(), "wave",
+               static_cast<double>(wave_index_));
+  }
+  ++wave_index_;
+  if (wave_index_ < cfg_.waves) {
+    begin_wave();
+  } else {
+    running_ = false;
+  }
+}
+
+// ---------------------------------------------------------------- Serving
+
+ServingJob::ServingJob(sim::Simulator& simulator, workload::Cluster& cluster,
+                       ServingConfig cfg)
+    : sim_(simulator),
+      cfg_(std::move(cfg)),
+      timer_(simulator, [this] { on_timer(); }) {
+  assert(cfg_.cc != nullptr && "ServingConfig.cc must be set");
+  assert(cfg_.frontend != nullptr && !cfg_.backends.empty());
+  to_backend_.reserve(cfg_.backends.size());
+  from_backend_.reserve(cfg_.backends.size());
+  for (net::Host* b : cfg_.backends) {
+    assert(b != cfg_.frontend && "frontend cannot be its own backend");
+    workload::FlowSpec req;
+    req.src = cfg_.frontend;
+    req.dst = b;
+    to_backend_.push_back(
+        cluster.add_flow(req, cfg_.cc, cfg_.sender, cfg_.receiver));
+    workload::FlowSpec resp;
+    resp.src = b;
+    resp.dst = cfg_.frontend;
+    from_backend_.push_back(
+        cluster.add_flow(resp, cfg_.cc, cfg_.sender, cfg_.receiver));
+  }
+
+  // Pre-generated Poisson request schedule: a pure function of the config,
+  // so serial and parallel campaign runs issue identical request streams.
+  if (cfg_.requests_per_second > 0.0) {
+    sim::Rng rng(sim::derive_seed(cfg_.seed, kServingSalt),
+                 sim::derive_seed(cfg_.seed, kServingSalt + 1));
+    const double mean_gap_s = 1.0 / cfg_.requests_per_second;
+    sim::SimTime t = cfg_.start_time;
+    while (true) {
+      t += sim::from_seconds(rng.exponential(mean_gap_s));
+      if (t >= cfg_.stop_time) break;
+      schedule_.push_back(t);
+    }
+  }
+}
+
+void ServingJob::start() {
+  if (running_ || schedule_.empty()) return;
+  running_ = true;
+  next_arrival_ = 0;
+  timer_.arm_at(schedule_.front());
+}
+
+void ServingJob::stop() {
+  running_ = false;
+  timer_.cancel();
+}
+
+std::vector<double> ServingJob::completed_latencies_seconds() const {
+  std::vector<double> out;
+  out.reserve(completed_);
+  for (const FctRecord& r : records_) {
+    if (r.done()) out.push_back(r.fct_seconds());
+  }
+  return out;
+}
+
+void ServingJob::on_timer() {
+  while (next_arrival_ < schedule_.size() &&
+         schedule_[next_arrival_] <= sim_.now()) {
+    issue(schedule_[next_arrival_]);
+    ++next_arrival_;
+  }
+  if (running_ && next_arrival_ < schedule_.size()) {
+    timer_.arm_at(schedule_[next_arrival_]);
+  }
+}
+
+void ServingJob::issue(sim::SimTime at) {
+  const int n = static_cast<int>(cfg_.backends.size());
+  const int fanout =
+      cfg_.fanout > 0 ? std::min(cfg_.fanout, n) : n;
+  const std::size_t record_index = records_.size();
+  records_.push_back(FctRecord{
+      at, -1, static_cast<std::int64_t>(fanout) * cfg_.response_bytes, 0,
+      0});
+  responses_pending_.push_back(fanout);
+  ++issued_;
+
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kTraffic)) {
+    t->instant(telemetry::Category::kTraffic, "request_issued", sim_.now(),
+               telemetry::track_traffic(), "fanout",
+               static_cast<double>(fanout));
+  }
+
+  for (int k = 0; k < fanout; ++k) {
+    const int b = (rr_offset_ + k) % n;
+    // Request leg; when it is fully acknowledged the backend has the query
+    // and fires its response leg. The response completing at the backend's
+    // sender means the frontend holds every byte of the answer.
+    to_backend_[static_cast<std::size_t>(b)]->send_message(
+        cfg_.request_bytes, [this, record_index, b](sim::SimTime) {
+          from_backend_[static_cast<std::size_t>(b)]->send_message(
+              cfg_.response_bytes,
+              [this, record_index](sim::SimTime when) {
+                on_response(record_index, when);
+              });
+        });
+  }
+  rr_offset_ = (rr_offset_ + fanout) % n;
+}
+
+void ServingJob::on_response(std::size_t record_index, sim::SimTime when) {
+  if (--responses_pending_[record_index] > 0) return;
+  records_[record_index].completed = when;
+  ++completed_;
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kTraffic)) {
+    t->instant(telemetry::Category::kTraffic, "request_done", when,
+               telemetry::track_traffic(), "latency_s",
+               records_[record_index].fct_seconds());
+  }
+}
+
+}  // namespace mltcp::traffic

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "tcp/cong_control.hpp"
+#include "tcp/receiver.hpp"
+#include "tcp/sender.hpp"
+#include "traffic/source.hpp"
+#include "workload/cluster.hpp"
+
+namespace mltcp::traffic {
+
+/// Hadoop-sort-style shuffle: `mappers` × `reducers` hosts move
+/// `bytes_per_pair` from every mapper to every reducer, wait for the whole
+/// wave to land, spend `reduce_time` sorting, and repeat for `waves` rounds.
+/// The bulk-synchronous storage workload that coexists with training
+/// traffic in production fabrics — unlike a training ring it is all-to-all
+/// and barrier-synchronized on *completion of every transfer*, so one slow
+/// flow stalls the wave (the straggler shape that makes its FCT tail
+/// matter).
+struct ShuffleConfig {
+  std::string name = "shuffle";
+  std::vector<net::Host*> mappers;
+  std::vector<net::Host*> reducers;
+  std::int64_t bytes_per_pair = 1'000'000;
+  sim::SimTime reduce_time = sim::milliseconds(200);
+  int waves = 1;
+  sim::SimTime start_time = 0;
+  tcp::CcFactory cc;  ///< Must be set.
+  tcp::SenderConfig sender;
+  tcp::ReceiverConfig receiver;
+};
+
+class ShuffleJob {
+ public:
+  /// Creates the mapper->reducer connections through `cluster` (which owns
+  /// them). The job is not started.
+  ShuffleJob(sim::Simulator& simulator, workload::Cluster& cluster,
+             ShuffleConfig cfg);
+
+  ShuffleJob(const ShuffleJob&) = delete;
+  ShuffleJob& operator=(const ShuffleJob&) = delete;
+
+  /// Schedules the first wave at cfg.start_time.
+  void start();
+  /// Halts after the in-flight wave's transfers drain; no further wave
+  /// starts. Idempotent.
+  void stop();
+
+  const std::string& name() const { return cfg_.name; }
+  bool running() const { return running_; }
+  int waves_completed() const { return static_cast<int>(waves_.size()); }
+
+  /// Wall time of each completed wave (first transfer posted -> reduce
+  /// done), seconds.
+  const std::vector<double>& wave_times_seconds() const { return waves_; }
+
+  /// Per-transfer records across all waves (arrival order). Transfers of an
+  /// aborted wave stay open.
+  const std::vector<FctRecord>& transfers() const { return records_; }
+  std::vector<double> completed_fcts_seconds() const;
+  std::size_t open_transfers() const { return posted_ - completed_; }
+
+ private:
+  void begin_wave();
+  void on_transfer_done(std::size_t record_index, sim::SimTime when);
+  void on_reduce_done();
+
+  sim::Simulator& sim_;
+  ShuffleConfig cfg_;
+  std::vector<tcp::TcpFlow*> flows_;  ///< mappers × reducers, row-major.
+  sim::Timer timer_;                  ///< Wave start / reduce completion.
+
+  bool running_ = false;
+  bool reducing_ = false;
+  int wave_index_ = 0;
+  int pending_transfers_ = 0;
+  sim::SimTime wave_start_ = 0;
+  std::vector<double> waves_;
+  std::vector<FctRecord> records_;
+  std::size_t posted_ = 0;
+  std::size_t completed_ = 0;
+};
+
+/// Request-response fan-out: a stand-in for user-facing serving traffic.
+/// Requests arrive at the frontend as a seeded Poisson stream; each request
+/// sends `request_bytes` to `fanout` backends (chosen round-robin, so load
+/// is even and deterministic) and every backend answers with
+/// `response_bytes`. The request completes when the *last* response lands —
+/// the classic tail-at-scale shape: request latency is a max over fan-out
+/// legs, so backend-side p99 becomes frontend-side median.
+struct ServingConfig {
+  std::string name = "serving";
+  net::Host* frontend = nullptr;
+  std::vector<net::Host*> backends;
+  double requests_per_second = 100.0;
+  int fanout = 0;  ///< Backends touched per request; 0 = all of them.
+  std::int64_t request_bytes = 2'000;     ///< Frontend -> backend.
+  std::int64_t response_bytes = 100'000;  ///< Backend -> frontend.
+  sim::SimTime start_time = 0;
+  sim::SimTime stop_time = sim::seconds(1);
+  std::uint64_t seed = 1;
+  tcp::CcFactory cc;  ///< Must be set.
+  tcp::SenderConfig sender;
+  tcp::ReceiverConfig receiver;
+};
+
+class ServingJob {
+ public:
+  /// Creates the request/response connections through `cluster`. Arrival
+  /// times are pre-generated here from a splitmix64-derived stream of
+  /// cfg.seed, so the request schedule is a pure function of the config.
+  ServingJob(sim::Simulator& simulator, workload::Cluster& cluster,
+             ServingConfig cfg);
+
+  ServingJob(const ServingJob&) = delete;
+  ServingJob& operator=(const ServingJob&) = delete;
+
+  void start();
+  /// No further requests are issued; in-flight ones drain. Idempotent.
+  void stop();
+
+  const std::string& name() const { return cfg_.name; }
+  bool running() const { return running_; }
+
+  std::size_t requests_issued() const { return issued_; }
+  std::size_t requests_completed() const { return completed_; }
+  std::size_t open_requests() const { return issued_ - completed_; }
+
+  /// End-to-end latency (arrival -> last response) of each completed
+  /// request, in issue order, seconds.
+  std::vector<double> completed_latencies_seconds() const;
+
+  /// Per-request records; `bytes` holds the request's total response bytes.
+  const std::vector<FctRecord>& requests() const { return records_; }
+
+ private:
+  void on_timer();
+  void issue(sim::SimTime at);
+  void on_response(std::size_t record_index, sim::SimTime when);
+
+  sim::Simulator& sim_;
+  ServingConfig cfg_;
+  std::vector<tcp::TcpFlow*> to_backend_;    ///< One per backend.
+  std::vector<tcp::TcpFlow*> from_backend_;  ///< One per backend.
+  std::vector<sim::SimTime> schedule_;       ///< Pre-generated arrivals.
+  std::size_t next_arrival_ = 0;
+  sim::Timer timer_;
+
+  bool running_ = false;
+  int rr_offset_ = 0;  ///< Round-robin cursor over backends.
+  std::vector<FctRecord> records_;
+  std::vector<int> responses_pending_;  ///< Per request, counts down to 0.
+  std::size_t issued_ = 0;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace mltcp::traffic

@@ -1,0 +1,101 @@
+#include "traffic/source.hpp"
+
+#include <cassert>
+
+#include "tcp/flow.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace mltcp::traffic {
+
+TrafficSource::TrafficSource(sim::Simulator& simulator,
+                             workload::Cluster& cluster,
+                             std::vector<net::Host*> hosts,
+                             SourceOptions options)
+    : sim_(simulator),
+      cluster_(cluster),
+      hosts_(std::move(hosts)),
+      opts_(std::move(options)),
+      timer_(simulator, [this] { on_timer(); }) {
+  assert(opts_.cc != nullptr && "SourceOptions.cc must be set");
+}
+
+void TrafficSource::install(std::vector<FlowArrival> arrivals) {
+  assert(arrivals_.empty() && "install() must be called at most once");
+  if (arrivals.empty()) return;  // Nothing scheduled: zero perturbation.
+  arrivals_ = std::move(arrivals);
+  records_.reserve(arrivals_.size());
+  next_ = 0;
+  timer_.arm_at(arrivals_.front().at);
+}
+
+void TrafficSource::install(const TrafficConfig& cfg) {
+  install(generate_arrivals(cfg, static_cast<int>(hosts_.size())));
+}
+
+std::vector<double> TrafficSource::completed_fcts_seconds() const {
+  std::vector<double> out;
+  out.reserve(completed_);
+  for (const FctRecord& r : records_) {
+    if (r.done()) out.push_back(r.fct_seconds());
+  }
+  return out;
+}
+
+void TrafficSource::on_timer() {
+  while (next_ < arrivals_.size() && arrivals_[next_].at <= sim_.now()) {
+    post(next_);
+    ++next_;
+  }
+  if (next_ < arrivals_.size()) timer_.arm_at(arrivals_[next_].at);
+}
+
+void TrafficSource::post(std::size_t index) {
+  const FlowArrival& a = arrivals_[index];
+  tcp::TcpFlow* flow = flow_for(a.src, a.dst);
+  if (flow == nullptr) return;
+
+  const std::size_t record_index = records_.size();
+  records_.push_back(FctRecord{sim_.now(), -1, a.bytes, a.src, a.dst});
+  ++posted_;
+  bytes_posted_ += a.bytes;
+
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kTraffic)) {
+    t->instant(telemetry::Category::kTraffic, "traffic_arrival", sim_.now(),
+               telemetry::track_traffic(), "bytes",
+               static_cast<double>(a.bytes));
+  }
+
+  flow->send_message(a.bytes, [this, record_index](sim::SimTime when) {
+    FctRecord& r = records_[record_index];
+    r.completed = when;
+    ++completed_;
+    bytes_completed_ += r.bytes;
+    if (auto* t =
+            telemetry::tracer_for(sim_, telemetry::Category::kTraffic)) {
+      t->instant(telemetry::Category::kTraffic, "traffic_complete", when,
+                 telemetry::track_traffic(), "fct_s", r.fct_seconds());
+    }
+  });
+}
+
+tcp::TcpFlow* TrafficSource::flow_for(std::int32_t src, std::int32_t dst) {
+  assert(src >= 0 && static_cast<std::size_t>(src) < hosts_.size());
+  assert(dst >= 0 && static_cast<std::size_t>(dst) < hosts_.size());
+  assert(src != dst);
+  if (src < 0 || dst < 0 || src == dst ||
+      static_cast<std::size_t>(src) >= hosts_.size() ||
+      static_cast<std::size_t>(dst) >= hosts_.size()) {
+    return nullptr;
+  }
+  auto [it, inserted] = flows_.try_emplace({src, dst}, nullptr);
+  if (inserted) {
+    workload::FlowSpec fs;
+    fs.src = hosts_[static_cast<std::size_t>(src)];
+    fs.dst = hosts_[static_cast<std::size_t>(dst)];
+    it->second =
+        cluster_.add_flow(fs, opts_.cc, opts_.sender, opts_.receiver);
+  }
+  return it->second;
+}
+
+}  // namespace mltcp::traffic

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "tcp/cong_control.hpp"
+#include "tcp/receiver.hpp"
+#include "tcp/sender.hpp"
+#include "traffic/pattern.hpp"
+#include "workload/cluster.hpp"
+
+namespace mltcp::traffic {
+
+/// One transfer's lifecycle as the source observed it. `completed == -1`
+/// means the flow was still open when the run ended — FCT reporting must
+/// count it separately, never fold its truncated duration into the tails.
+struct FctRecord {
+  sim::SimTime arrival = 0;
+  sim::SimTime completed = -1;
+  std::int64_t bytes = 0;
+  std::int32_t src = 0;
+  std::int32_t dst = 0;
+
+  bool done() const { return completed >= 0; }
+  double fct_seconds() const {
+    return done() ? sim::to_seconds(completed - arrival) : -1.0;
+  }
+};
+
+/// Transport configuration for the flows a TrafficSource creates.
+struct SourceOptions {
+  tcp::CcFactory cc;  ///< Must be set.
+  tcp::SenderConfig sender;
+  tcp::ReceiverConfig receiver;
+};
+
+/// Replays a pre-generated arrival list against one run's world: each
+/// arrival posts its bytes as a message on a cluster-owned TCP connection
+/// between the two hosts (connections are reused per (src, dst) pair, so a
+/// pair's transfers share one congestion-control state and queue FIFO behind
+/// each other — connection semantics, which is what makes sender-side
+/// queueing show up in the FCT like it does in production).
+///
+/// Determinism: the arrival list is generated up front from per-run seeds
+/// (generate_arrivals) and the replay runs off a single timer in list
+/// order, so a run's traffic is a pure function of (config, world) — the
+/// same discipline as the scenario engine.
+class TrafficSource {
+ public:
+  /// `hosts` maps the arrival list's host indices to real hosts; flows are
+  /// created lazily through `cluster` (which owns their lifetime).
+  TrafficSource(sim::Simulator& simulator, workload::Cluster& cluster,
+                std::vector<net::Host*> hosts, SourceOptions options);
+
+  TrafficSource(const TrafficSource&) = delete;
+  TrafficSource& operator=(const TrafficSource&) = delete;
+
+  /// Schedules the replay. Call at most once; arrivals whose time is
+  /// already past fire immediately.
+  void install(std::vector<FlowArrival> arrivals);
+
+  /// Convenience: generate_arrivals(cfg, hosts.size()) + install.
+  void install(const TrafficConfig& cfg);
+
+  /// Per-arrival records, in arrival order. Stable once posted: completion
+  /// fills in `completed` in place.
+  const std::vector<FctRecord>& records() const { return records_; }
+
+  /// Completion times (seconds) of every finished transfer, arrival order.
+  std::vector<double> completed_fcts_seconds() const;
+
+  std::size_t posted() const { return posted_; }
+  std::size_t completed() const { return completed_; }
+  /// Transfers posted but unfinished (run ended or still draining).
+  std::size_t open() const { return posted_ - completed_; }
+
+  std::int64_t bytes_posted() const { return bytes_posted_; }
+  std::int64_t bytes_completed() const { return bytes_completed_; }
+
+ private:
+  void on_timer();
+  void post(std::size_t index);
+  tcp::TcpFlow* flow_for(std::int32_t src, std::int32_t dst);
+
+  sim::Simulator& sim_;
+  workload::Cluster& cluster_;
+  std::vector<net::Host*> hosts_;
+  SourceOptions opts_;
+
+  std::vector<FlowArrival> arrivals_;  ///< Sorted by (at, order).
+  std::size_t next_ = 0;
+  sim::Timer timer_;
+
+  /// Cluster-owned connections, reused per ordered host pair.
+  std::map<std::pair<std::int32_t, std::int32_t>, tcp::TcpFlow*> flows_;
+
+  std::vector<FctRecord> records_;
+  std::size_t posted_ = 0;
+  std::size_t completed_ = 0;
+  std::int64_t bytes_posted_ = 0;
+  std::int64_t bytes_completed_ = 0;
+};
+
+}  // namespace mltcp::traffic

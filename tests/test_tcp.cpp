@@ -269,8 +269,9 @@ TEST(DctcpCC, AlphaRisesWithMarksAndDecaysWithout) {
   cfg.initial_cwnd = 10.0;
   cfg.initial_ssthresh = 5.0;
   DctcpCC cc(cfg);
-  EXPECT_DOUBLE_EQ(cc.alpha(), 0.0);
-  // A fully-marked window pushes alpha up.
+  // RFC 8257 §4.2: alpha starts at 1 so the very first marked window halves.
+  EXPECT_DOUBLE_EQ(cc.alpha(), 1.0);
+  // Fully-marked windows hold alpha high.
   std::int64_t seq = 0;
   for (int w = 0; w < 10; ++w) {
     for (int i = 0; i < 12; ++i) cc.on_ack(ack(1, ++seq, true));
@@ -281,6 +282,23 @@ TEST(DctcpCC, AlphaRisesWithMarksAndDecaysWithout) {
     for (int i = 0; i < 50; ++i) cc.on_ack(ack(1, ++seq, false));
   }
   EXPECT_LT(cc.alpha(), high);
+}
+
+TEST(DctcpCC, FirstMarkedWindowHalvesFromColdStart) {
+  // Regression for the RFC 8257 alpha initialization: a short flow whose
+  // first window is fully marked must halve immediately, not shave off
+  // g/2 of the window while the EWMA warms up from zero.
+  DctcpConfig cfg;
+  cfg.initial_cwnd = 10.0;
+  cfg.initial_ssthresh = 5.0;  // congestion avoidance from the start
+  DctcpCC cc(cfg);
+  std::int64_t seq = 0;
+  // The first observation window spans one initial cwnd of segments, not a
+  // single ACK (window_end_seq_ starts at initial_cwnd, not 0).
+  for (int i = 0; i < 10; ++i) cc.on_ack(ack(1, ++seq, true));
+  EXPECT_DOUBLE_EQ(cc.alpha(), 1.0);
+  EXPECT_LE(cc.cwnd(), cfg.initial_cwnd * 0.5 + 1.0)
+      << "a fully marked first window must cut cwnd by ~half";
 }
 
 TEST(DctcpCC, MarkedWindowCutsProportionally) {
