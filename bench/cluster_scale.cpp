@@ -22,6 +22,13 @@
 //                                  fastest (simulated work is identical per
 //                                  repeat; min wall time is the standard
 //                                  noise-robust estimator on shared hosts)
+//   cluster_scale --background=P   overlay a Reno background traffic matrix
+//                                  (poisson | incast | tornado | alltoall |
+//                                  permutation) on every run, so the gated
+//                                  events/sec also covers the mixed-traffic
+//                                  forwarding path. The pattern is recorded
+//                                  in the RESULT lines / CSV / JSON, keeping
+//                                  background and clean numbers separate.
 
 #include <sys/resource.h>
 
@@ -31,6 +38,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +46,8 @@
 #include "core/mltcp.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
+#include "tcp/cong_control.hpp"
+#include "traffic/source.hpp"
 #include "workload/cluster.hpp"
 #include "workload/profiles.hpp"
 
@@ -61,14 +71,74 @@ struct RunResult {
   double wall_s = 0.0;
   double events_per_sec = 0.0;
   double rss_mb = 0.0;
+  std::string background = "none";
 };
 
 void print_result(const RunResult& r) {
   std::printf("RESULT name=%s jobs=%d flows=%d sim_s=%.3f events=%" PRIu64
-              " wall_s=%.4f events_per_sec=%.1f peak_rss_mb=%.1f\n",
+              " wall_s=%.4f events_per_sec=%.1f peak_rss_mb=%.1f "
+              "background=%s\n",
               r.name.c_str(), r.jobs, r.flows, r.sim_s, r.events, r.wall_s,
-              r.events_per_sec, r.rss_mb);
+              r.events_per_sec, r.rss_mb, r.background.c_str());
   std::fflush(stdout);
+}
+
+// ---------------------------------------------------------------- background
+
+/// "none", or a traffic::Pattern display name. Parsed once in main; invalid
+/// names abort instead of silently measuring the clean path under a label
+/// that claims otherwise.
+struct BackgroundSpec {
+  bool enabled = false;
+  traffic::Pattern pattern = traffic::Pattern::kPoisson;
+  std::string label = "none";
+};
+
+BackgroundSpec parse_background(const std::string& name) {
+  BackgroundSpec spec;
+  if (name.empty() || name == "none") return spec;
+  for (const traffic::Pattern p : traffic::all_patterns()) {
+    if (name == traffic::pattern_name(p)) {
+      spec.enabled = true;
+      spec.pattern = p;
+      spec.label = name;
+      return spec;
+    }
+  }
+  std::fprintf(stderr, "unknown --background pattern '%s' (valid: none",
+               name.c_str());
+  for (const traffic::Pattern p : traffic::all_patterns()) {
+    std::fprintf(stderr, " | %s", traffic::pattern_name(p));
+  }
+  std::fprintf(stderr, ")\n");
+  std::exit(2);
+}
+
+/// Overlays the pattern on `hosts` for the whole measurement window. Plain
+/// Reno with Pareto sizes — the legacy datacenter mix the training jobs
+/// contend with; intensity is fixed so events/sec across sweeps stays
+/// comparable.
+std::unique_ptr<traffic::TrafficSource> install_background(
+    sim::Simulator& sim, workload::Cluster& cluster,
+    std::vector<net::Host*> hosts, const BackgroundSpec& spec,
+    sim::SimTime window) {
+  if (!spec.enabled) return nullptr;
+  auto source = std::make_unique<traffic::TrafficSource>(
+      sim, cluster, std::move(hosts),
+      traffic::SourceOptions{[] { return std::make_unique<tcp::RenoCC>(); },
+                             {},
+                             {}});
+  traffic::TrafficConfig cfg;
+  cfg.pattern = spec.pattern;
+  cfg.size_dist = traffic::SizeDist::kPareto;
+  cfg.mean_bytes = 40'000;
+  cfg.flows_per_second = 400.0;
+  cfg.epoch = sim::milliseconds(200);
+  cfg.start = 0;
+  cfg.stop = window;
+  cfg.seed = 1;  // One fixed stream per pattern; repeats stay identical.
+  source->install(cfg);
+  return source;
 }
 
 /// Runs `sim` until `deadline` and fills in the measured rates.
@@ -95,7 +165,8 @@ RunResult measure(const std::string& name, int jobs, int flows,
 /// The fig4 shape: `n_jobs` MLTCP-Reno jobs with 4 flows each on the shared
 /// dumbbell bottleneck. This is the workload whose events/sec the perf gate
 /// tracks.
-RunResult run_dumbbell(int n_jobs, sim::SimTime window) {
+RunResult run_dumbbell(int n_jobs, sim::SimTime window,
+                       const BackgroundSpec& background) {
   bench::ScenarioConfig cfg;
   cfg.hosts_per_side = n_jobs;
   auto exp = bench::make_experiment(cfg);
@@ -108,8 +179,16 @@ RunResult run_dumbbell(int n_jobs, sim::SimTime window) {
     bench::add_profile_job(*exp, gpt2, j, core::mltcp_reno_factory(mcfg),
                            opts);
   }
+  std::vector<net::Host*> hosts(exp->dumbbell.left.begin(),
+                                exp->dumbbell.left.end());
+  hosts.insert(hosts.end(), exp->dumbbell.right.begin(),
+               exp->dumbbell.right.end());
+  const auto source = install_background(exp->sim, *exp->cluster,
+                                         std::move(hosts), background, window);
   exp->cluster->start_all();
-  return measure("dumbbell", n_jobs, n_jobs * 4, exp->sim, window);
+  RunResult r = measure("dumbbell", n_jobs, n_jobs * 4, exp->sim, window);
+  r.background = background.label;
+  return r;
 }
 
 // ------------------------------------------------------------ leaf-spine part
@@ -118,7 +197,8 @@ RunResult run_dumbbell(int n_jobs, sim::SimTime window) {
 /// racks x spines fabric. Jobs are placed round-robin on rack pairs
 /// (rack r -> rack r+1), so neighbouring jobs share ToR uplinks and the
 /// spine layer spreads flows by ECMP where available.
-RunResult run_leaf_spine(int n_jobs, int flows_per_job, sim::SimTime window) {
+RunResult run_leaf_spine(int n_jobs, int flows_per_job, sim::SimTime window,
+                         const BackgroundSpec& background) {
   sim::Simulator sim;
   net::LeafSpineConfig ls_cfg;
   ls_cfg.racks = 16;
@@ -153,8 +233,17 @@ RunResult run_leaf_spine(int n_jobs, int flows_per_job, sim::SimTime window) {
     spec.cc = core::mltcp_reno_factory(mcfg);
     cluster.add_job(spec);
   }
+  std::vector<net::Host*> hosts;
+  for (const auto& rack : ls.racks) {
+    hosts.insert(hosts.end(), rack.begin(), rack.end());
+  }
+  const auto source = install_background(sim, cluster, std::move(hosts),
+                                         background, window);
   cluster.start_all();
-  return measure("leafspine", n_jobs, n_jobs * flows_per_job, sim, window);
+  RunResult r = measure("leafspine", n_jobs, n_jobs * flows_per_job, sim,
+                        window);
+  r.background = background.label;
+  return r;
 }
 
 }  // namespace
@@ -163,13 +252,18 @@ int main(int argc, char** argv) {
   bool quick = false;
   int repeat = 1;
   std::string only;
+  std::string background_name;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strncmp(argv[i], "--only=", 7) == 0) only = argv[i] + 7;
     if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
       repeat = std::max(1, std::atoi(argv[i] + 9));
     }
+    if (std::strncmp(argv[i], "--background=", 13) == 0) {
+      background_name = argv[i] + 13;
+    }
   }
+  const BackgroundSpec background = parse_background(background_name);
   const auto selected = [&only](const char* name) {
     return only.empty() || only == name;
   };
@@ -191,10 +285,12 @@ int main(int argc, char** argv) {
   // Dumbbell: the perf-gated scenarios. Windows sized so each run executes
   // tens of millions of events — long enough to dominate setup cost.
   if (selected("dumbbell")) {
-    results.push_back(
-        best_of([&] { return run_dumbbell(2, sim::seconds(quick ? 4 : 20)); }));
-    results.push_back(
-        best_of([&] { return run_dumbbell(8, sim::seconds(quick ? 2 : 10)); }));
+    results.push_back(best_of([&] {
+      return run_dumbbell(2, sim::seconds(quick ? 4 : 20), background);
+    }));
+    results.push_back(best_of([&] {
+      return run_dumbbell(8, sim::seconds(quick ? 2 : 10), background);
+    }));
   }
 
   // Leaf-spine sweep: scaling in job count at a fixed fan-out.
@@ -205,8 +301,9 @@ int main(int argc, char** argv) {
     for (const int jobs : sweep) {
       const sim::SimTime window =
           quick ? sim::milliseconds(1500) : sim::seconds(jobs >= 128 ? 2 : 4);
-      results.push_back(best_of(
-          [&] { return run_leaf_spine(jobs, flows_per_job, window); }));
+      results.push_back(best_of([&] {
+        return run_leaf_spine(jobs, flows_per_job, window, background);
+      }));
     }
   }
 
@@ -214,12 +311,12 @@ int main(int argc, char** argv) {
 
   auto csv = bench::open_csv(
       "cluster_scale", {"name", "jobs", "flows", "sim_s", "events", "wall_s",
-                        "events_per_sec", "peak_rss_mb"});
+                        "events_per_sec", "peak_rss_mb", "background"});
   for (const RunResult& r : results) {
     csv->row({r.name, std::to_string(r.jobs), std::to_string(r.flows),
               std::to_string(r.sim_s), std::to_string(r.events),
               std::to_string(r.wall_s), std::to_string(r.events_per_sec),
-              std::to_string(r.rss_mb)});
+              std::to_string(r.rss_mb), r.background});
   }
   return 0;
 }

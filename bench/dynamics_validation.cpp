@@ -99,7 +99,12 @@ void v2_fluid_vs_packet() {
     fjobs[j].start_offset = 0.005 * j;
   }
   analysis::FluidSimulator fluid(fc, fjobs);
-  fluid.run_iterations(kIters, 1e4);
+  if (!fluid.run_iterations(kIters, 1e4)) {
+    std::printf("WARNING: fluid run truncated at t=%.1f before %d "
+                "iterations; per-iteration means below under-count the "
+                "slow tail\n",
+                fluid.now(), kIters);
+  }
 
   auto csv = bench::open_csv("v2_fluid_vs_packet",
                              {"iter", "packet_mean_s", "fluid_mean_s"});
@@ -141,7 +146,10 @@ void v3_multi_job_descent() {
     jobs[j].start_offset = starts[j];
   }
   analysis::FluidSimulator fluid(fc, jobs);
-  fluid.run_iterations(60, 1e4);
+  if (!fluid.run_iterations(60, 1e4)) {
+    std::printf("WARNING: fluid run truncated before 60 iterations; the "
+                "offset comparison below is over a shorter trajectory\n");
+  }
 
   std::printf("analytic: converged=%s after %d iterations, final loss "
               "%.5f\n",

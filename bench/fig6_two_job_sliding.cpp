@@ -73,7 +73,7 @@ SweepResult run(double start_fraction, std::size_t run_index,
   for (workload::Job* job : jobs) {
     for (const auto& binding : job->flows()) {
       monitors.push_back(std::make_unique<analysis::FlowMonitor>(
-          exp->sim, binding.flow->sender(), sim::milliseconds(50)));
+          exp->sim, binding.flow->tcp()->sender(), sim::milliseconds(50)));
     }
   }
 

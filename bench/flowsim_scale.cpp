@@ -1,0 +1,249 @@
+// Flow-level scale campaign: how far past the packet path's flow ceiling
+// the flowsim backend goes. bench/cluster_scale tops out at 256 jobs x 16
+// flows = 4096 concurrent transfers on the packet path; this campaign pushes
+// the flow-level backend through >= 100x that many transfers (>= 409,600)
+// on the same leaf-spine fabric, in wall time comparable to one
+// cluster_scale point — the quantitative case for the hybrid-fidelity
+// split (flowsim for scale, packets for fidelity, bench/fidelity_gate for
+// the bound between them).
+//
+// Scenarios:
+//  - poisson: a Poisson/Pareto traffic matrix replayed through
+//    traffic::TrafficSource — hundreds of thousands of short transfers with
+//    bounded in-flight concurrency (the regime the busy-list event loop is
+//    built for).
+//  - training: MLTCP training jobs on the same fabric — the weighted
+//    max-min path (F(bytes_ratio) refresh + water-filling) under sustained
+//    collective traffic.
+//
+// Output: `RESULT key=value ...` lines (parsed by
+// bench/record_flowsim_baseline.sh into results/BENCH_flowsim.json) plus a
+// CSV. In the full run the poisson scenario must complete >= 409,600
+// transfers or the binary exits 1 — the 100x claim is enforced, not
+// aspirational.
+//
+// Modes:
+//   flowsim_scale          full campaign (enforces the 100x floor)
+//   flowsim_scale --quick  CI smoke variant (~1/10 the transfers, no floor)
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/metrics.hpp"
+#include "bench_common.hpp"
+#include "core/mltcp.hpp"
+#include "flowsim/flow_simulator.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/reno.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/source.hpp"
+#include "workload/cluster.hpp"
+
+namespace {
+
+using namespace mltcp;
+
+/// The packet path's ceiling this campaign is measured against
+/// (cluster_scale: 256 jobs x 16 flows).
+constexpr std::int64_t kPacketCeiling = 4096;
+constexpr std::int64_t kTransferFloor = 100 * kPacketCeiling;  // 409,600.
+
+double peak_rss_mb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+struct RunResult {
+  std::string name;
+  std::int64_t transfers = 0;  ///< Messages posted.
+  std::int64_t completed = 0;
+  double sim_s = 0.0;
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  std::int64_t recomputes = 0;
+  double p99_fct_s = 0.0;  ///< 0 when the scenario has no FCT records.
+  double rss_mb = 0.0;
+};
+
+void print_result(const RunResult& r) {
+  const double tps =
+      r.wall_s > 0.0 ? static_cast<double>(r.completed) / r.wall_s : 0.0;
+  const double eps =
+      r.wall_s > 0.0 ? static_cast<double>(r.events) / r.wall_s : 0.0;
+  std::printf("RESULT name=%s transfers=%" PRId64 " completed=%" PRId64
+              " sim_s=%.3f events=%" PRIu64 " wall_s=%.4f "
+              "transfers_per_sec=%.1f events_per_sec=%.1f recomputes=%" PRId64
+              " p99_fct_s=%.5f peak_rss_mb=%.1f\n",
+              r.name.c_str(), r.transfers, r.completed, r.sim_s, r.events,
+              r.wall_s, tps, eps, r.recomputes, r.p99_fct_s, r.rss_mb);
+  std::fflush(stdout);
+}
+
+/// The cluster_scale leaf-spine fabric: 16 racks x 16 hosts, 4 spines.
+net::LeafSpine make_fabric(sim::Simulator& sim) {
+  net::LeafSpineConfig cfg;
+  cfg.racks = 16;
+  cfg.hosts_per_rack = 16;
+  cfg.spines = 4;
+  cfg.host_rate_bps = 4e9;
+  cfg.fabric_rate_bps = 1e9;
+  return net::make_leaf_spine(sim, cfg);
+}
+
+std::vector<net::Host*> all_hosts(const net::LeafSpine& ls) {
+  std::vector<net::Host*> hosts;
+  for (const auto& rack : ls.racks) {
+    hosts.insert(hosts.end(), rack.begin(), rack.end());
+  }
+  return hosts;
+}
+
+/// Poisson/Pareto matrix over the whole fabric. Full mode: 60 s of arrivals
+/// at 8000 flows/s = 480,000 transfers (117x the packet ceiling).
+RunResult run_poisson(bool quick) {
+  sim::Simulator sim;
+  net::LeafSpine ls = make_fabric(sim);
+  flowsim::FlowSimulator fs(sim, *ls.topology);
+  workload::Cluster cluster(sim);
+  cluster.set_backend(&fs);
+
+  traffic::TrafficSource source(
+      sim, cluster, all_hosts(ls),
+      traffic::SourceOptions{[] { return std::make_unique<tcp::RenoCC>(); },
+                             {},
+                             {}});
+  traffic::TrafficConfig tc;
+  tc.pattern = traffic::Pattern::kPoisson;
+  tc.size_dist = traffic::SizeDist::kPareto;
+  tc.mean_bytes = 40'000;
+  tc.flows_per_second = 8000.0;
+  tc.start = 0;
+  tc.stop = sim::seconds(quick ? 6 : 60);
+  tc.seed = 31;
+  source.install(tc);
+
+  const sim::SimTime horizon = tc.stop + sim::seconds(5);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(horizon);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.name = "poisson";
+  r.transfers = fs.stats().messages_posted;
+  r.completed = fs.stats().messages_completed;
+  r.sim_s = sim::to_seconds(horizon);
+  r.events = sim.events_executed();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.recomputes = fs.stats().recomputes;
+  r.p99_fct_s =
+      analysis::fct_stats(source.completed_fcts_seconds(), source.open())
+          .p99_s;
+  r.rss_mb = peak_rss_mb();
+  return r;
+}
+
+/// MLTCP training jobs on the fabric: 256 jobs x 4 flows, enough iterations
+/// that the weighted-allocation path carries >= 100k messages in the full
+/// run. Placement mirrors cluster_scale (rack r -> rack r+1 round-robin).
+RunResult run_training(bool quick) {
+  sim::Simulator sim;
+  net::LeafSpine ls = make_fabric(sim);
+  flowsim::FlowSimulator fs(sim, *ls.topology);
+  workload::Cluster cluster(sim);
+  cluster.set_backend(&fs);
+
+  const int n_jobs = 256;
+  const int flows_per_job = 4;
+  const int iterations = quick ? 10 : 100;
+  const int racks = static_cast<int>(ls.racks.size());
+  const int hosts_per_rack = static_cast<int>(ls.racks[0].size());
+  for (int j = 0; j < n_jobs; ++j) {
+    const int src_rack = j % racks;
+    const int dst_rack = (src_rack + 1) % racks;
+    const int base_host = (j / racks) % hosts_per_rack;
+    workload::JobSpec spec;
+    spec.name = "job" + std::to_string(j);
+    for (int f = 0; f < flows_per_job; ++f) {
+      const int h = (base_host + f) % hosts_per_rack;
+      spec.flows.push_back(
+          workload::FlowSpec{ls.racks[src_rack][h], ls.racks[dst_rack][h],
+                             500'000});
+    }
+    spec.compute_time = sim::milliseconds(50);
+    spec.max_iterations = iterations;
+    spec.start_time = sim::milliseconds(5 * (j % 64));
+    spec.cc = core::mltcp_reno_factory();
+    cluster.add_job(spec);
+  }
+  cluster.start_all();
+
+  const sim::SimTime horizon = sim::seconds(quick ? 40 : 400);
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(horizon);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.name = "training";
+  r.transfers = fs.stats().messages_posted;
+  r.completed = fs.stats().messages_completed;
+  r.sim_s = sim::to_seconds(horizon);
+  r.events = sim.events_executed();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.recomputes = fs.stats().recomputes;
+  r.rss_mb = peak_rss_mb();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  bench::print_header(quick ? "flowsim scale (quick)" : "flowsim scale");
+  std::printf("packet-path ceiling (cluster_scale): %" PRId64
+              " flows; full-mode floor: %" PRId64 " transfers (100x)\n",
+              kPacketCeiling, kTransferFloor);
+
+  std::vector<RunResult> results;
+  results.push_back(run_poisson(quick));
+  results.push_back(run_training(quick));
+  for (const RunResult& r : results) print_result(r);
+
+  auto csv = bench::open_csv(
+      "flowsim_scale",
+      {"name", "transfers", "completed", "sim_s", "events", "wall_s",
+       "recomputes", "p99_fct_s", "peak_rss_mb"});
+  for (const RunResult& r : results) {
+    csv->row({r.name, std::to_string(r.transfers), std::to_string(r.completed),
+              std::to_string(r.sim_s), std::to_string(r.events),
+              std::to_string(r.wall_s), std::to_string(r.recomputes),
+              std::to_string(r.p99_fct_s), std::to_string(r.rss_mb)});
+  }
+
+  if (!quick) {
+    const std::int64_t completed = results[0].completed;
+    std::printf("\nscale ratio: %" PRId64 " completed transfers = %.0fx the "
+                "packet ceiling\n",
+                completed,
+                static_cast<double>(completed) /
+                    static_cast<double>(kPacketCeiling));
+    if (completed < kTransferFloor) {
+      std::printf("FLOWSIM SCALE FAILED: %" PRId64 " < %" PRId64
+                  " transfers\n",
+                  completed, kTransferFloor);
+      return 1;
+    }
+  }
+  return 0;
+}

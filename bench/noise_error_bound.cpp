@@ -7,8 +7,10 @@
 // closed-form bound, and also validate the bound on the discrete
 // gradient-descent recursion directly.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "analysis/fluid_model.hpp"
@@ -39,7 +41,18 @@ double fluid_error_std(double sigma, const analysis::ShiftParams& p,
   jobs[1].start_offset = 0.25 * p.period;
   analysis::FluidSimulator fluid(fc, jobs);
   const int total_iters = 400;
-  fluid.run_iterations(total_iters, 1e5);
+  if (!fluid.run_iterations(total_iters, 1e5)) {
+    // A truncated run would bias the steady-state error std towards the
+    // transient; fail loudly instead of folding it into the sweep.
+    std::fprintf(stderr,
+                 "FATAL: fluid run truncated (sigma=%.4f seed=%llu): "
+                 "only %zu/%zu iterations\n",
+                 sigma, static_cast<unsigned long long>(seed),
+                 std::min(fluid.iterations(0).size(),
+                          fluid.iterations(1).size()),
+                 static_cast<std::size_t>(total_iters));
+    std::exit(1);
+  }
 
   const auto& r0 = fluid.iterations(0);
   const auto& r1 = fluid.iterations(1);

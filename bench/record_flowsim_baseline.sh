@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Records flow-level backend scale numbers into results/BENCH_flowsim.json,
+# tracking the transfers/sec trajectory of the flowsim path the way
+# record_scale_baseline.sh tracks the packet path's events/sec.
+#
+# Runs bench/flowsim_scale (RESULT lines: poisson matrix + MLTCP training
+# campaign) and merges the parsed numbers into the JSON file. Existing
+# sections other than the one being written are preserved, so recorded
+# baselines survive re-runs.
+#
+# Usage:
+#   bench/record_flowsim_baseline.sh                    # record "current"
+#   SECTION=baseline bench/record_flowsim_baseline.sh   # named section
+#   QUICK=1 ...                                         # CI smoke variant
+#   CHECK_AGAINST=baseline TOLERANCE=0.10 ...           # after recording,
+#     exit 1 if any run present in both sections regressed transfers/sec by
+#     more than TOLERANCE. The recorded section was measured on the machine
+#     that ran this script, so cross-machine comparisons gate only coarse
+#     regressions.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+OUT="$ROOT/results/BENCH_flowsim.json"
+SECTION="${SECTION:-current}"
+QUICK="${QUICK:-0}"
+CHECK_AGAINST="${CHECK_AGAINST:-}"
+TOLERANCE="${TOLERANCE:-0.10}"
+
+RAW="$BUILD/flowsim_scale.txt"
+ARGS=()
+if [ "$QUICK" = "1" ]; then ARGS+=(--quick); fi
+
+MLTCP_RESULTS_DIR="${MLTCP_RESULTS_DIR:-$ROOT/results}" \
+  "$BUILD/bench/flowsim_scale" "${ARGS[@]+"${ARGS[@]}"}" | tee "$RAW"
+
+python3 - "$OUT" "$SECTION" "$RAW" "$CHECK_AGAINST" "$TOLERANCE" <<'PY'
+import json, sys
+
+out_path, section, raw_path, check_against, tolerance = sys.argv[1:6]
+tolerance = float(tolerance)
+
+runs = []
+with open(raw_path) as f:
+    for line in f:
+        if not line.startswith("RESULT "):
+            continue
+        kv = dict(item.split("=", 1) for item in line.split()[1:])
+        runs.append({
+            "name": kv["name"],
+            "transfers": int(kv["transfers"]),
+            "completed": int(kv["completed"]),
+            "sim_s": float(kv["sim_s"]),
+            "events": int(kv["events"]),
+            "wall_s": float(kv["wall_s"]),
+            "transfers_per_sec": round(float(kv["transfers_per_sec"]), 1),
+            "events_per_sec": round(float(kv["events_per_sec"]), 1),
+            "recomputes": int(kv["recomputes"]),
+            "p99_fct_s": float(kv["p99_fct_s"]),
+            "peak_rss_mb": float(kv["peak_rss_mb"]),
+        })
+if not runs:
+    sys.exit("no RESULT lines found in " + raw_path)
+
+try:
+    with open(out_path) as f:
+        doc = json.load(f)
+except FileNotFoundError:
+    doc = {"schema": 1, "note": "flow-level backend scale record; see "
+           "bench/record_flowsim_baseline.sh, bench/flowsim_scale and "
+           "DESIGN.md 'Flow-level backend'"}
+
+doc[section] = {"runs": runs}
+
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote section '{section}' to {out_path}")
+
+if check_against:
+    base = {r["name"]: r
+            for r in doc.get(check_against, {}).get("runs", [])}
+    failures = []
+    for r in runs:
+        b = base.get(r["name"])
+        if b is None:
+            continue
+        floor = b["transfers_per_sec"] * (1.0 - tolerance)
+        verdict = "ok" if r["transfers_per_sec"] >= floor else "REGRESSED"
+        print(f"gate {r['name']}: {r['transfers_per_sec']:.0f} transfers/s "
+              f"vs {check_against} {b['transfers_per_sec']:.0f} "
+              f"(floor {floor:.0f}) -> {verdict}")
+        if verdict != "ok":
+            failures.append(r)
+    if failures:
+        sys.exit(f"{len(failures)} run(s) regressed transfers/sec by more "
+                 f"than {tolerance:.0%} vs section '{check_against}'")
+PY

@@ -14,6 +14,10 @@
 #   REPEAT=3 ...                                    # best-of-N per scenario
 #     (identical simulated work per repeat; min wall time suppresses
 #     shared-host noise)
+#   BACKGROUND=poisson ...                          # overlay a background
+#     traffic matrix (see cluster_scale --background); the pattern is
+#     recorded per run, and the regression gate only compares runs whose
+#     background matches, so mixed-traffic numbers never gate clean ones.
 #   CHECK_AGAINST=baseline TOLERANCE=0.10 ...       # after recording, exit 1
 #     if any run present in both sections regressed events/sec by more than
 #     TOLERANCE. Note: the recorded section was measured on the machine that
@@ -28,6 +32,7 @@ OUT="$ROOT/results/BENCH_scale.json"
 SECTION="${SECTION:-current}"
 QUICK="${QUICK:-0}"
 REPEAT="${REPEAT:-1}"
+BACKGROUND="${BACKGROUND:-none}"
 CHECK_AGAINST="${CHECK_AGAINST:-}"
 TOLERANCE="${TOLERANCE:-0.10}"
 
@@ -35,6 +40,7 @@ RAW="$BUILD/cluster_scale.txt"
 ARGS=()
 if [ "$QUICK" = "1" ]; then ARGS+=(--quick); fi
 if [ "$REPEAT" != "1" ]; then ARGS+=(--repeat="$REPEAT"); fi
+if [ "$BACKGROUND" != "none" ]; then ARGS+=(--background="$BACKGROUND"); fi
 
 MLTCP_RESULTS_DIR="${MLTCP_RESULTS_DIR:-$ROOT/results}" \
   "$BUILD/bench/cluster_scale" "${ARGS[@]+"${ARGS[@]}"}" | tee "$RAW"
@@ -60,6 +66,9 @@ with open(raw_path) as f:
             "wall_s": float(kv["wall_s"]),
             "events_per_sec": round(float(kv["events_per_sec"]), 1),
             "peak_rss_mb": float(kv["peak_rss_mb"]),
+            # Older recordings predate the --background flag: they are clean
+            # runs, so the gate treats a missing field as "none".
+            "background": kv.get("background", "none"),
         })
 if not runs:
     sys.exit("no RESULT lines found in " + raw_path)
@@ -80,11 +89,11 @@ with open(out_path, "w") as f:
 print(f"wrote section '{section}' to {out_path}")
 
 if check_against:
-    base = {(r["name"], r["jobs"]): r
+    base = {(r["name"], r["jobs"], r.get("background", "none")): r
             for r in doc.get(check_against, {}).get("runs", [])}
     failures = []
     for r in runs:
-        b = base.get((r["name"], r["jobs"]))
+        b = base.get((r["name"], r["jobs"], r["background"]))
         if b is None:
             continue
         floor = b["events_per_sec"] * (1.0 - tolerance)

@@ -83,9 +83,10 @@ void FluidSimulator::step(double dt) {
 
 void FluidSimulator::run_until(double t) {
   while (now_ < t) step(std::min(cfg_.dt, t - now_));
+  truncated_ = false;  // A plain time advance has no iteration target.
 }
 
-void FluidSimulator::run_iterations(int iterations, double max_time) {
+bool FluidSimulator::run_iterations(int iterations, double max_time) {
   auto done = [&] {
     for (const auto& j : jobs_) {
       if (j.iteration < iterations) return false;
@@ -93,6 +94,8 @@ void FluidSimulator::run_iterations(int iterations, double max_time) {
     return true;
   };
   while (!done() && now_ < max_time) step(cfg_.dt);
+  truncated_ = !done();
+  return !truncated_;
 }
 
 std::vector<double> FluidSimulator::iteration_times(std::size_t job) const {

@@ -48,8 +48,16 @@ class FluidSimulator {
   FluidSimulator(FluidConfig cfg, std::vector<FluidJobSpec> jobs);
 
   /// Advances the model until every job has completed at least
-  /// `iterations`; gives up at `max_time` seconds.
-  void run_iterations(int iterations, double max_time = 1e6);
+  /// `iterations`; gives up at `max_time` seconds. Returns true when every
+  /// job reached the target; false when the time budget ran out first
+  /// (truncated() then reports true until the next run_* call). Callers
+  /// averaging per-iteration statistics must check: a silently truncated
+  /// run under-counts exactly the slow iterations the metric cares about.
+  bool run_iterations(int iterations, double max_time = 1e6);
+
+  /// Whether the most recent run_iterations() hit max_time before every
+  /// job completed its target iterations.
+  bool truncated() const { return truncated_; }
 
   /// Advances to absolute time `t`.
   void run_until(double t);
@@ -95,6 +103,7 @@ class FluidSimulator {
   sim::Rng rng_;
   double now_ = 0.0;
   double excess_ = 0.0;
+  bool truncated_ = false;
 };
 
 }  // namespace mltcp::analysis

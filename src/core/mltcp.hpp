@@ -39,6 +39,11 @@ class MltcpGain : public tcp::WindowGain {
 
   const IterationTracker& tracker() const { return tracker_; }
   const AggressivenessFunction& function() const { return *f_; }
+  /// Shared handle to F, so a flow-level backend can keep evaluating the
+  /// same function after the probe controller it inspected is destroyed.
+  std::shared_ptr<const AggressivenessFunction> function_ptr() const {
+    return f_;
+  }
 
  private:
   std::shared_ptr<const AggressivenessFunction> f_;

@@ -1,0 +1,426 @@
+#include "flowsim/flow_simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "core/mltcp.hpp"
+#include "telemetry/tracer.hpp"
+
+namespace mltcp::flowsim {
+
+namespace {
+
+/// Bytes left below which a message counts as fully serialized. Predictions
+/// arm the timer one nanosecond past the exact drain time, so remaining
+/// lands at or below zero; the epsilon only absorbs float drift.
+constexpr double kDrainEpsilon = 1e-3;
+
+/// What a faulted link can actually carry, in bytes/second. Down and
+/// blackholed links carry nothing (routes may still point at them); a
+/// drop-burst fault derates the link to the goodput a loss-recovering
+/// transport sustains across it.
+double effective_capacity(const net::Link& link) {
+  if (!link.up() || link.blackhole()) return 0.0;
+  const double keep = 1.0 - link.fault_drop_probability();
+  return keep > 0.0 ? link.rate_bps() * keep / 8.0 : 0.0;
+}
+
+/// Walks the data path src -> dst the way a packet would travel it: host
+/// uplink first, then each switch's ECMP choice for this flow id
+/// (Switch::route_for_flow — the identical hash the packet backend runs),
+/// until the destination host. Returns false when no complete path exists.
+bool resolve_route(net::Host* src, net::Host* dst, net::FlowId flow,
+                   std::size_t max_hops,
+                   std::vector<const net::Link*>& route,
+                   sim::SimTime& delay) {
+  route.clear();
+  delay = 0;
+  net::Link* link = src->uplink();
+  const net::NodeId dst_id = dst->id();
+  std::size_t hops = 0;
+  while (link != nullptr) {
+    route.push_back(link);
+    delay += link->propagation_delay();
+    net::Node* next = link->destination();
+    if (next == dst) return true;
+    auto* sw = dynamic_cast<net::Switch*>(next);
+    if (sw == nullptr) return false;      // Landed on the wrong host.
+    if (++hops > max_hops) return false;  // Transient routing loop.
+    link = sw->route_for_flow(dst_id, flow);
+  }
+  return false;  // No uplink, or a switch had no route (fault repair).
+}
+
+}  // namespace
+
+/// One channel of the flow-level backend: a FIFO of messages, the head of
+/// which is in flight as a fluid flow.
+class FlowSimulator::FlowChannel final : public workload::Channel {
+ public:
+  enum class State {
+    kIdle,      ///< No message in flight.
+    kSending,   ///< Head message serializing at rate_.
+    kDraining,  ///< All bytes serialized; last byte propagating.
+  };
+
+  FlowChannel(FlowSimulator& owner, net::Host* src, net::Host* dst,
+              net::FlowId id,
+              std::shared_ptr<const core::AggressivenessFunction> f)
+      : owner_(owner), src_(src), dst_(dst), id_(id), f_(std::move(f)) {}
+
+  void send_message(std::int64_t bytes, Completion on_complete) override {
+    assert(bytes >= 0);
+    queue_.push_back(Message{bytes, std::move(on_complete)});
+    ++owner_.stats_.messages_posted;
+    // A busy channel needs no recompute: the new message queues FIFO
+    // behind the head and the allocation is untouched until it starts.
+    if (state_ == State::kIdle && !in_start_queue_) {
+      in_start_queue_ = true;
+      owner_.start_queue_.push_back(this);
+      owner_.schedule_recompute();
+    }
+  }
+
+  net::FlowId id() const override { return id_; }
+
+ private:
+  friend class FlowSimulator;
+
+  struct Message {
+    std::int64_t bytes = 0;
+    Completion done;
+  };
+
+  /// Current max-min weight: F(bytes_ratio) of the in-flight message for
+  /// MLTCP channels, the neutral 1.0 otherwise. Clamped away from zero so a
+  /// pathological F cannot starve the water-filling loop.
+  double current_weight() const {
+    if (f_ == nullptr) return 1.0;
+    const double ratio =
+        total_ > 0.0 ? std::clamp((total_ - remaining_) / total_, 0.0, 1.0)
+                     : 1.0;
+    return std::max((*f_)(ratio), 1e-6);
+  }
+
+  FlowSimulator& owner_;
+  net::Host* src_;
+  net::Host* dst_;
+  net::FlowId id_;
+  std::shared_ptr<const core::AggressivenessFunction> f_;
+
+  std::deque<Message> queue_;  ///< Head = in-flight message (when busy).
+  State state_ = State::kIdle;
+  double total_ = 0.0;      ///< Bytes of the head message.
+  double remaining_ = 0.0;  ///< Bytes of the head message not yet sent.
+  double rate_ = 0.0;       ///< Allocated rate, bytes/second.
+  double weight_ = 1.0;     ///< Weight used by the current allocation.
+  sim::SimTime drain_until_ = 0;  ///< Last-byte arrival (kDraining).
+  bool stalled_ = false;  ///< Route dead/unroutable; waiting on topology.
+  bool in_start_queue_ = false;
+
+  std::vector<const net::Link*> route_;
+  sim::SimTime route_delay_ = 0;  ///< Sum of propagation delays en route.
+  bool route_valid_ = false;
+
+  bool frozen_ = false;  ///< Water-filling scratch.
+};
+
+FlowSimulator::FlowSimulator(sim::Simulator& simulator,
+                             net::Topology& topology, FlowSimConfig cfg)
+    : sim_(simulator),
+      topo_(topology),
+      cfg_(cfg),
+      timer_(simulator, [this] { on_timer(); }) {
+  topo_.set_change_hook([this] {
+    routes_dirty_ = true;
+    schedule_recompute();
+  });
+}
+
+FlowSimulator::~FlowSimulator() { topo_.set_change_hook({}); }
+
+workload::Channel* FlowSimulator::create_channel(
+    const workload::ChannelSpec& spec) {
+  assert(spec.src != nullptr && spec.dst != nullptr);
+  // Probe the congestion-control factory once: an MLTCP-augmented
+  // controller carries the aggressiveness function the fluid allocation
+  // needs; everything else (Reno/Cubic/DCTCP/Swift, window configs) is
+  // packet-level mechanism the fluid model abstracts away.
+  std::shared_ptr<const core::AggressivenessFunction> f;
+  if (spec.cc) {
+    if (const auto probe = spec.cc(); probe != nullptr) {
+      if (const auto* gain =
+              dynamic_cast<const core::MltcpGain*>(&probe->window_gain())) {
+        f = gain->function_ptr();
+      }
+    }
+  }
+  channels_.push_back(std::make_unique<FlowChannel>(*this, spec.src, spec.dst,
+                                                    spec.id, std::move(f)));
+  return channels_.back().get();
+}
+
+std::vector<FlowRate> FlowSimulator::current_rates() const {
+  std::vector<FlowRate> out;
+  for (const FlowChannel* ch : busy_) {
+    if (ch->state_ != FlowChannel::State::kSending) continue;
+    out.push_back(FlowRate{ch->id_, ch->rate_ * 8.0, ch->weight_});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlowRate& a, const FlowRate& b) { return a.flow < b.flow; });
+  return out;
+}
+
+void FlowSimulator::schedule_recompute() {
+  if (in_recompute_) {
+    recompute_pending_ = true;
+    return;
+  }
+  timer_.arm(0);
+}
+
+void FlowSimulator::settle(sim::SimTime now) {
+  const sim::SimTime dt = now - settled_at_;
+  settled_at_ = now;
+  if (dt <= 0) return;
+  const double dts = sim::to_seconds(dt);
+  for (FlowChannel* ch : busy_) {
+    if (ch->state_ != FlowChannel::State::kSending || ch->rate_ <= 0.0) {
+      continue;
+    }
+    ch->remaining_ -= ch->rate_ * dts;
+    if (ch->remaining_ < 0.0) ch->remaining_ = 0.0;
+  }
+}
+
+void FlowSimulator::reroute_busy() {
+  for (FlowChannel* ch : busy_) {
+    ch->route_valid_ =
+        resolve_route(ch->src_, ch->dst_, ch->id_, topo_.links().size(),
+                      ch->route_, ch->route_delay_);
+    ++stats_.reroutes;
+  }
+}
+
+void FlowSimulator::reallocate(sim::SimTime now) {
+  // Grow the dense link index if the topology gained links since last pass.
+  const auto& links = topo_.links();
+  if (link_index_.size() != links.size()) {
+    link_index_.clear();
+    link_index_.reserve(links.size());
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      link_index_.emplace(links[i].get(), static_cast<std::int32_t>(i));
+    }
+    link_residual_.resize(links.size());
+    link_weight_sum_.resize(links.size());
+    link_active_.assign(links.size(), 0);
+    link_flows_.resize(links.size());
+  }
+
+  // Classify channels: sending channels with a live route enter the
+  // water-fill; dead-path channels stall at rate zero until the topology
+  // change hook wakes them.
+  active_scratch_.clear();
+  for (FlowChannel* ch : busy_) {
+    if (ch->state_ != FlowChannel::State::kSending) continue;
+    if (!ch->route_valid_) {
+      ch->route_valid_ = resolve_route(ch->src_, ch->dst_, ch->id_,
+                                       links.size(), ch->route_,
+                                       ch->route_delay_);
+    }
+    bool alive = ch->route_valid_;
+    if (alive) {
+      for (const net::Link* l : ch->route_) {
+        if (effective_capacity(*l) <= 0.0) {
+          alive = false;
+          break;
+        }
+      }
+    }
+    if (!alive) {
+      if (!ch->stalled_) {
+        ch->stalled_ = true;
+        ++stats_.stalls;
+      }
+      ch->rate_ = 0.0;
+      continue;
+    }
+    ch->stalled_ = false;
+    ch->weight_ = ch->current_weight();
+    ch->frozen_ = false;
+    active_scratch_.push_back(ch);
+  }
+
+  // Weighted max-min water-filling: repeatedly find the tightest link
+  // (smallest residual capacity per unit of unfrozen weight), freeze its
+  // flows at weight * share, and charge their rates to every other link on
+  // their routes.
+  used_links_.clear();
+  for (FlowChannel* ch : active_scratch_) {
+    for (const net::Link* l : ch->route_) {
+      const auto li = static_cast<std::size_t>(link_index_.at(l));
+      if (link_active_[li] == 0) {
+        used_links_.push_back(static_cast<std::int32_t>(li));
+        link_residual_[li] = effective_capacity(*l);
+        link_weight_sum_[li] = 0.0;
+        link_flows_[li].clear();
+      }
+      link_active_[li] += 1;
+      link_weight_sum_[li] += ch->weight_;
+      link_flows_[li].push_back(ch);
+    }
+  }
+
+  std::size_t unfrozen = active_scratch_.size();
+  ++stats_.recomputes;
+  while (unfrozen > 0) {
+    ++stats_.waterfill_rounds;
+    double min_share = std::numeric_limits<double>::infinity();
+    std::int32_t bottleneck = -1;
+    for (const std::int32_t li : used_links_) {
+      const auto i = static_cast<std::size_t>(li);
+      if (link_active_[i] <= 0) continue;
+      const double share =
+          std::max(link_residual_[i], 0.0) / link_weight_sum_[i];
+      if (share < min_share) {
+        min_share = share;
+        bottleneck = li;
+      }
+    }
+    assert(bottleneck >= 0 && "unfrozen flows imply an unfrozen link");
+    if (bottleneck < 0) break;
+    for (FlowChannel* ch : link_flows_[static_cast<std::size_t>(bottleneck)]) {
+      if (ch->frozen_) continue;
+      ch->frozen_ = true;
+      ch->rate_ = ch->weight_ * min_share;
+      --unfrozen;
+      for (const net::Link* l : ch->route_) {
+        const auto i = static_cast<std::size_t>(link_index_.at(l));
+        link_residual_[i] -= ch->rate_;
+        link_weight_sum_[i] -= ch->weight_;
+        link_active_[i] -= 1;
+      }
+    }
+  }
+  // Reset the per-link active counts for the next pass (residual/weight
+  // arrays are re-initialized on first touch).
+  for (const std::int32_t li : used_links_) {
+    link_active_[static_cast<std::size_t>(li)] = 0;
+  }
+
+  // Predict the next event: earliest message drain or last-byte arrival,
+  // capped by the weight-refresh period while MLTCP weights are moving.
+  sim::SimTime next = sim::kTimeInfinity;
+  bool mltcp_active = false;
+  for (const FlowChannel* ch : busy_) {
+    if (ch->state_ == FlowChannel::State::kSending && ch->rate_ > 0.0) {
+      const double secs = ch->remaining_ / ch->rate_;
+      const auto drain =
+          now + static_cast<sim::SimTime>(std::ceil(secs * 1e9)) + 1;
+      next = std::min(next, drain);
+      if (ch->f_ != nullptr && ch->remaining_ > kDrainEpsilon) {
+        mltcp_active = true;
+      }
+    } else if (ch->state_ == FlowChannel::State::kDraining) {
+      next = std::min(next, ch->drain_until_);
+    }
+  }
+  if (mltcp_active && cfg_.weight_refresh > 0) {
+    next = std::min(next, now + cfg_.weight_refresh);
+  }
+  if (next < sim::kTimeInfinity) {
+    timer_.arm_at(next);
+  } else {
+    timer_.cancel();
+  }
+
+  if (auto* t = telemetry::tracer_for(sim_, telemetry::Category::kFlowsim)) {
+    t->instant(telemetry::Category::kFlowsim, "reallocate", now,
+               telemetry::track_flowsim(), "active",
+               static_cast<double>(active_scratch_.size()), "rounds",
+               static_cast<double>(stats_.waterfill_rounds));
+  }
+}
+
+void FlowSimulator::on_timer() {
+  const sim::SimTime now = sim_.now();
+  in_recompute_ = true;
+  settle(now);
+
+  // Serialization-complete transitions, then completions, in busy order
+  // (message-start order — deterministic, single-timer driven).
+  std::vector<FlowChannel*> completed;
+  for (FlowChannel* ch : busy_) {
+    if (ch->state_ == FlowChannel::State::kSending &&
+        ch->remaining_ <= kDrainEpsilon && ch->rate_ > 0.0) {
+      ch->state_ = FlowChannel::State::kDraining;
+      ch->drain_until_ = now + ch->route_delay_;
+      ch->rate_ = 0.0;
+    }
+    if (ch->state_ == FlowChannel::State::kDraining &&
+        ch->drain_until_ <= now) {
+      completed.push_back(ch);
+    }
+  }
+  for (FlowChannel* ch : completed) {
+    assert(!ch->queue_.empty());
+    FlowChannel::Message msg = std::move(ch->queue_.front());
+    ch->queue_.pop_front();
+    ch->state_ = FlowChannel::State::kIdle;
+    ch->total_ = ch->remaining_ = 0.0;
+    ++stats_.messages_completed;
+    // The callback may post new messages (request/response patterns do,
+    // synchronously); they land in start_queue_ and enter this same
+    // timestamp's allocation.
+    if (msg.done) msg.done(now);
+    // FIFO backlog on this channel: restart via the same start path.
+    if (!ch->queue_.empty() && !ch->in_start_queue_) {
+      ch->in_start_queue_ = true;
+      start_queue_.push_back(ch);
+    }
+  }
+  // Channels that went idle leave the busy set before starts re-add them.
+  if (!completed.empty()) {
+    busy_.erase(std::remove_if(busy_.begin(), busy_.end(),
+                               [](const FlowChannel* ch) {
+                                 return ch->state_ ==
+                                        FlowChannel::State::kIdle;
+                               }),
+                busy_.end());
+  }
+
+  if (routes_dirty_) {
+    routes_dirty_ = false;
+    reroute_busy();
+  }
+
+  for (FlowChannel* ch : start_queue_) {
+    ch->in_start_queue_ = false;
+    if (ch->state_ != FlowChannel::State::kIdle || ch->queue_.empty()) {
+      continue;
+    }
+    ch->state_ = FlowChannel::State::kSending;
+    ch->total_ = ch->remaining_ =
+        static_cast<double>(ch->queue_.front().bytes);
+    ch->rate_ = 0.0;
+    busy_.push_back(ch);
+  }
+  start_queue_.clear();
+
+  // Everything requested so far (starts, completions) is absorbed by the
+  // allocation below; only topology churn arriving mid-callback still needs
+  // its own pass.
+  if (!routes_dirty_) recompute_pending_ = false;
+
+  reallocate(now);
+  in_recompute_ = false;
+  if (recompute_pending_) {
+    recompute_pending_ = false;
+    timer_.arm(0);
+  }
+}
+
+}  // namespace mltcp::flowsim

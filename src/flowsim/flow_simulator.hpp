@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aggressiveness.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "workload/backend.hpp"
+
+namespace mltcp::flowsim {
+
+/// Tuning knobs of the flow-level backend.
+struct FlowSimConfig {
+  /// Upper bound on how stale an MLTCP channel's aggressiveness weight may
+  /// get: while any MLTCP channel is mid-message the allocation is
+  /// recomputed at least this often, so F(bytes_ratio) tracks the message's
+  /// progress even when no arrival/completion forces a recompute. The
+  /// packet backend updates the gain every ACK; this is the fluid analogue
+  /// at a coarser, configurable grain.
+  sim::SimTime weight_refresh = sim::milliseconds(20);
+  /// Fraction of a link's capacity below which residual capacity is treated
+  /// as exhausted by the water-filling loop (guards float drift).
+  double capacity_epsilon = 1e-9;
+};
+
+/// Counters exposed for benchmarks and the fidelity gate.
+struct FlowSimStats {
+  std::int64_t recomputes = 0;        ///< Allocation passes run.
+  std::int64_t waterfill_rounds = 0;  ///< Bottleneck-freeze rounds, total.
+  std::int64_t messages_posted = 0;
+  std::int64_t messages_completed = 0;
+  std::int64_t reroutes = 0;  ///< Route re-resolutions after topology churn.
+  std::int64_t stalls = 0;    ///< Messages that hit an unroutable/dead path.
+};
+
+/// Instantaneous allocation of one active channel, for tests and traces.
+struct FlowRate {
+  net::FlowId flow = net::kInvalidFlow;
+  double rate_bps = 0.0;  ///< Current fluid rate (bits/s; 0 when stalled).
+  double weight = 1.0;    ///< Max-min weight in force (F(bytes_ratio)).
+};
+
+/// Flow-level simulation backend: advances transfers as fluid flows at
+/// weighted max-min fair rates over the real topology's routes instead of
+/// packet by packet. The weight of an MLTCP channel is F(bytes_ratio) of
+/// its in-flight message — the paper's observation is that MLTCP flows
+/// converge to bandwidth shares proportional to F within a few RTTs, which
+/// is exactly the steady state a weighted max-min allocation computes
+/// directly. Non-MLTCP channels weigh 1.0 (plain TCP's equal share).
+///
+/// Event model: one timer drives the whole backend. Every firing settles
+/// elapsed bytes at the current rates, completes messages whose bytes have
+/// drained (callbacks fire in channel-creation order — deterministic and
+/// thread-count independent), starts queued messages, re-resolves routes if
+/// the topology changed, refreshes MLTCP weights, water-fills, and arms the
+/// timer at the earliest predicted completion (capped by weight_refresh).
+/// Between firings every rate is constant, so predictions are exact up to
+/// nanosecond rounding.
+///
+/// Faults are read straight off the shared net::Link state the scenario
+/// engine already mutates: a down or blackholed link contributes zero
+/// capacity (channels crossing it stall and wake on the topology change
+/// hook), a drop-burst fault with probability p derates the link to
+/// (1 - p) of its rate (the goodput a loss-recovery transport sustains).
+/// Route changes re-resolve with the same per-flow ECMP hash the packet
+/// backend uses (Switch::route_for_flow), so a channel rides the same
+/// spine path at either fidelity.
+class FlowSimulator : public workload::Backend {
+ public:
+  /// Installs itself as `topology`'s change observer (see
+  /// Topology::set_change_hook); the topology must outlive the simulator.
+  FlowSimulator(sim::Simulator& simulator, net::Topology& topology,
+                FlowSimConfig cfg = {});
+  ~FlowSimulator() override;
+
+  FlowSimulator(const FlowSimulator&) = delete;
+  FlowSimulator& operator=(const FlowSimulator&) = delete;
+
+  workload::Channel* create_channel(const workload::ChannelSpec& spec)
+      override;
+  const char* name() const override { return "flowsim"; }
+
+  const FlowSimStats& stats() const { return stats_; }
+
+  /// Channels currently transferring (or stalled mid-message), with their
+  /// allocated rates — a debugging/testing window into the allocation.
+  std::vector<FlowRate> current_rates() const;
+
+  /// Total channels created.
+  std::size_t channel_count() const { return channels_.size(); }
+
+ private:
+  class FlowChannel;
+  friend class FlowChannel;
+
+  void on_timer();
+  /// Advances every sending channel by (now - settled_at_) at its current
+  /// rate.
+  void settle(sim::SimTime now);
+  /// Re-resolves the route of every busy channel (after topology churn).
+  void reroute_busy();
+  /// Refreshes weights, water-fills, predicts the next event and arms the
+  /// timer.
+  void reallocate(sim::SimTime now);
+  /// Called by channels when a message is posted on an idle channel and by
+  /// the topology change hook.
+  void schedule_recompute();
+
+  sim::Simulator& sim_;
+  net::Topology& topo_;
+  FlowSimConfig cfg_;
+  sim::Timer timer_;
+
+  std::vector<std::unique_ptr<FlowChannel>> channels_;
+  /// Dense link index for the water-filling scratch arrays; rebuilt when
+  /// the topology grows.
+  std::unordered_map<const net::Link*, std::int32_t> link_index_;
+  /// Scratch (sized to links, reused across recomputes): residual capacity
+  /// (bytes/s), unfrozen weight sum and unfrozen flow count per link, plus
+  /// the unfrozen channels crossing each link.
+  std::vector<double> link_residual_;
+  std::vector<double> link_weight_sum_;
+  std::vector<std::int32_t> link_active_;
+  std::vector<std::vector<FlowChannel*>> link_flows_;
+  std::vector<std::int32_t> used_links_;      ///< Links touched this pass.
+  std::vector<FlowChannel*> active_scratch_;  ///< Channels in this pass.
+
+  /// Channels with a message in flight (sending or draining). Event-loop
+  /// work scales with this concurrency bound, not with the total channel
+  /// count — the property that lets a run carry hundreds of thousands of
+  /// transfers over a long tail of mostly idle channels.
+  std::vector<FlowChannel*> busy_;
+  /// Idle channels whose queue gained a message since the last pass.
+  std::vector<FlowChannel*> start_queue_;
+
+  sim::SimTime settled_at_ = 0;
+  bool in_recompute_ = false;
+  bool recompute_pending_ = false;
+  bool routes_dirty_ = false;
+  FlowSimStats stats_;
+};
+
+}  // namespace mltcp::flowsim

@@ -75,6 +75,7 @@ void Topology::build_routes() {
   assert(route_stats_.edges_scanned <=
          2 * route_stats_.directed_edges *
              std::max<std::int64_t>(route_stats_.destinations, 1));
+  notify_changed();
 }
 
 void Topology::rebuild_destination(NodeId d, std::vector<std::int32_t>& dist,
@@ -152,6 +153,7 @@ void Topology::repair_destinations(std::vector<NodeId>& affected) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  notify_changed();
 }
 
 void Topology::set_link_state(Link* link, bool up) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -84,6 +85,23 @@ class Topology {
 
   sim::Simulator& simulator() { return sim_; }
 
+  /// Registers the (single) observer notified whenever routes or link
+  /// capacities change. Route-affecting entry points (build_routes,
+  /// set_link_state, set_link_pair_state) fire it themselves; callers that
+  /// mutate link state directly (Link::set_rate_bps / set_blackhole /
+  /// set_fault_drop) must call notify_changed() afterwards. A flow-level
+  /// backend uses this to re-resolve routes and recompute its allocation;
+  /// the packet backend needs no observer — packets discover the new state
+  /// hop by hop.
+  void set_change_hook(std::function<void()> hook) {
+    change_hook_ = std::move(hook);
+  }
+
+  /// Fires the change hook (no-op if none is installed).
+  void notify_changed() {
+    if (change_hook_) change_hook_();
+  }
+
  private:
   /// One BFS from destination `d` over the reverse graph, installing (or
   /// clearing) every switch's route towards `d`. Skips down links. The
@@ -108,6 +126,7 @@ class Topology {
   std::vector<std::vector<std::pair<NodeId, Link*>>> adjacency_;
   std::vector<std::uint8_t> is_switch_;  ///< Indexed by NodeId.
   RouteBuildStats route_stats_;
+  std::function<void()> change_hook_;
 };
 
 /// A dumbbell: `hosts_per_side` hosts on each side of a two-switch

@@ -4,7 +4,6 @@
 #include <cassert>
 #include <memory>
 
-#include "tcp/flow.hpp"
 #include "tcp/reno.hpp"
 #include "telemetry/tracer.hpp"
 
@@ -90,18 +89,23 @@ void ScenarioEngine::apply(const Event& e) {
       net::Link* rev = eng.topo_.link_between(*nb, *na);
       fwd->set_rate_bps(a.rate_bps);
       if (rev != nullptr) rev->set_rate_bps(a.rate_bps);
+      // Routes are unchanged but capacities moved: a flow-level backend
+      // listening on the topology must recompute its allocation.
+      eng.topo_.notify_changed();
       return true;
     }
     bool operator()(const Blackhole& a) {
       net::Link* link = eng.resolve_link(a.node_a, a.node_b);
       if (link == nullptr) return false;
       link->set_blackhole(a.on);
+      eng.topo_.notify_changed();
       return true;
     }
     bool operator()(const DropBurst& a) {
       net::Link* link = eng.resolve_link(a.node_a, a.node_b);
       if (link == nullptr) return false;
       link->set_fault_drop(a.probability, a.seed);
+      eng.topo_.notify_changed();
       return true;
     }
     bool operator()(const JobDeparture& a) {
@@ -125,7 +129,7 @@ void ScenarioEngine::apply(const Event& e) {
       return true;
     }
     bool operator()(const BackgroundBurst& a) {
-      tcp::TcpFlow* flow = eng.background_flow(a.src_host, a.dst_host);
+      workload::Channel* flow = eng.background_flow(a.src_host, a.dst_host);
       if (flow == nullptr) return false;
       flow->send_message(a.bytes, [](sim::SimTime) {});
       return true;
@@ -175,7 +179,8 @@ const traffic::TrafficSource* ScenarioEngine::traffic_source(
   return nullptr;
 }
 
-tcp::TcpFlow* ScenarioEngine::background_flow(int src_host, int dst_host) {
+workload::Channel* ScenarioEngine::background_flow(int src_host,
+                                                   int dst_host) {
   const auto& hosts = topo_.hosts();
   assert(src_host >= 0 && static_cast<std::size_t>(src_host) < hosts.size());
   assert(dst_host >= 0 && static_cast<std::size_t>(dst_host) < hosts.size());
@@ -191,7 +196,7 @@ tcp::TcpFlow* ScenarioEngine::background_flow(int src_host, int dst_host) {
     workload::FlowSpec fs;
     fs.src = hosts[static_cast<std::size_t>(src_host)];
     fs.dst = hosts[static_cast<std::size_t>(dst_host)];
-    it->second = cluster_.add_flow(
+    it->second = cluster_.add_channel(
         fs, [] { return std::make_unique<tcp::RenoCC>(); });
   }
   return it->second;

@@ -13,10 +13,6 @@
 #include "traffic/source.hpp"
 #include "workload/cluster.hpp"
 
-namespace mltcp::tcp {
-class TcpFlow;
-}
-
 namespace mltcp::scenario {
 
 /// What a JobArrival callback sees: the run's own world, so arrivals build
@@ -81,7 +77,7 @@ class ScenarioEngine {
   net::Link* resolve_link(const std::string& a, const std::string& b,
                           net::Node** node_a = nullptr,
                           net::Node** node_b = nullptr);
-  tcp::TcpFlow* background_flow(int src_host, int dst_host);
+  workload::Channel* background_flow(int src_host, int dst_host);
   void trace_applied(const Event& e);
 
   sim::Simulator& sim_;
@@ -91,9 +87,9 @@ class ScenarioEngine {
   std::vector<Event> events_;  ///< Sorted by (at, insertion order).
   std::size_t next_ = 0;
   sim::Timer timer_;
-  /// Engine-owned legacy flows, keyed by (src, dst) host index so repeated
+  /// Legacy background channels, keyed by (src, dst) host index so repeated
   /// bursts between a pair share one connection.
-  std::map<std::pair<int, int>, tcp::TcpFlow*> bg_flows_;
+  std::map<std::pair<int, int>, workload::Channel*> bg_flows_;
   /// Engine-owned traffic-matrix sources, one per applied TrafficBurst.
   std::vector<std::unique_ptr<traffic::TrafficSource>> traffic_;
   std::vector<std::string> traffic_labels_;  ///< Parallel to traffic_.

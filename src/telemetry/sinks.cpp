@@ -30,6 +30,8 @@ const char* category_name(Category c) {
     case Category::kLink: return "link";
     case Category::kCustom: return "custom";
     case Category::kFault: return "fault";
+    case Category::kTraffic: return "traffic";
+    case Category::kFlowsim: return "flowsim";
   }
   return "?";
 }

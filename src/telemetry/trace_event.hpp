@@ -20,6 +20,7 @@ enum class Category : std::uint32_t {
   kCustom = 1u << 7,  ///< Experiment-defined events.
   kFault = 1u << 8,   ///< Scenario engine: applied faults and churn events.
   kTraffic = 1u << 9, ///< Traffic generator: arrivals and completions.
+  kFlowsim = 1u << 10, ///< Flow-level backend: rate recomputation events.
 };
 
 constexpr std::uint32_t category_bit(Category c) {
@@ -82,5 +83,9 @@ constexpr std::uint64_t track_scenario() { return 4'000'000; }
 /// Single shared track for traffic-generator arrival/completion instants —
 /// background-flow churn renders as one row, like the scenario timeline.
 constexpr std::uint64_t track_traffic() { return 4'000'001; }
+
+/// Single shared track for the flow-level backend's allocation events (one
+/// counter row of active flows / water-filling rounds per recompute).
+constexpr std::uint64_t track_flowsim() { return 4'000'002; }
 
 }  // namespace mltcp::telemetry

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "tcp/flow.hpp"
 #include "telemetry/tracer.hpp"
 
 namespace mltcp::traffic {
@@ -40,7 +39,7 @@ ShuffleJob::ShuffleJob(sim::Simulator& simulator, workload::Cluster& cluster,
       fs.src = m;
       fs.dst = r;
       flows_.push_back(
-          cluster.add_flow(fs, cfg_.cc, cfg_.sender, cfg_.receiver));
+          cluster.add_channel(fs, cfg_.cc, cfg_.sender, cfg_.receiver));
     }
   }
 }
@@ -134,12 +133,12 @@ ServingJob::ServingJob(sim::Simulator& simulator, workload::Cluster& cluster,
     req.src = cfg_.frontend;
     req.dst = b;
     to_backend_.push_back(
-        cluster.add_flow(req, cfg_.cc, cfg_.sender, cfg_.receiver));
+        cluster.add_channel(req, cfg_.cc, cfg_.sender, cfg_.receiver));
     workload::FlowSpec resp;
     resp.src = b;
     resp.dst = cfg_.frontend;
     from_backend_.push_back(
-        cluster.add_flow(resp, cfg_.cc, cfg_.sender, cfg_.receiver));
+        cluster.add_channel(resp, cfg_.cc, cfg_.sender, cfg_.receiver));
   }
 
   // Pre-generated Poisson request schedule: a pure function of the config,

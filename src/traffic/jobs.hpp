@@ -73,8 +73,9 @@ class ShuffleJob {
 
   sim::Simulator& sim_;
   ShuffleConfig cfg_;
-  std::vector<tcp::TcpFlow*> flows_;  ///< mappers × reducers, row-major.
-  sim::Timer timer_;                  ///< Wave start / reduce completion.
+  /// mappers × reducers, row-major; backend-neutral channels.
+  std::vector<workload::Channel*> flows_;
+  sim::Timer timer_;  ///< Wave start / reduce completion.
 
   bool running_ = false;
   bool reducing_ = false;
@@ -146,8 +147,8 @@ class ServingJob {
 
   sim::Simulator& sim_;
   ServingConfig cfg_;
-  std::vector<tcp::TcpFlow*> to_backend_;    ///< One per backend.
-  std::vector<tcp::TcpFlow*> from_backend_;  ///< One per backend.
+  std::vector<workload::Channel*> to_backend_;    ///< One per backend.
+  std::vector<workload::Channel*> from_backend_;  ///< One per backend.
   std::vector<sim::SimTime> schedule_;       ///< Pre-generated arrivals.
   std::size_t next_arrival_ = 0;
   sim::Timer timer_;

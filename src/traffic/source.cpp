@@ -2,7 +2,6 @@
 
 #include <cassert>
 
-#include "tcp/flow.hpp"
 #include "telemetry/tracer.hpp"
 
 namespace mltcp::traffic {
@@ -51,7 +50,7 @@ void TrafficSource::on_timer() {
 
 void TrafficSource::post(std::size_t index) {
   const FlowArrival& a = arrivals_[index];
-  tcp::TcpFlow* flow = flow_for(a.src, a.dst);
+  workload::Channel* flow = flow_for(a.src, a.dst);
   if (flow == nullptr) return;
 
   const std::size_t record_index = records_.size();
@@ -78,7 +77,7 @@ void TrafficSource::post(std::size_t index) {
   });
 }
 
-tcp::TcpFlow* TrafficSource::flow_for(std::int32_t src, std::int32_t dst) {
+workload::Channel* TrafficSource::flow_for(std::int32_t src, std::int32_t dst) {
   assert(src >= 0 && static_cast<std::size_t>(src) < hosts_.size());
   assert(dst >= 0 && static_cast<std::size_t>(dst) < hosts_.size());
   assert(src != dst);
@@ -93,7 +92,7 @@ tcp::TcpFlow* TrafficSource::flow_for(std::int32_t src, std::int32_t dst) {
     fs.src = hosts_[static_cast<std::size_t>(src)];
     fs.dst = hosts_[static_cast<std::size_t>(dst)];
     it->second =
-        cluster_.add_flow(fs, opts_.cc, opts_.sender, opts_.receiver);
+        cluster_.add_channel(fs, opts_.cc, opts_.sender, opts_.receiver);
   }
   return it->second;
 }

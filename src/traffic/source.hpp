@@ -84,7 +84,7 @@ class TrafficSource {
  private:
   void on_timer();
   void post(std::size_t index);
-  tcp::TcpFlow* flow_for(std::int32_t src, std::int32_t dst);
+  workload::Channel* flow_for(std::int32_t src, std::int32_t dst);
 
   sim::Simulator& sim_;
   workload::Cluster& cluster_;
@@ -95,8 +95,8 @@ class TrafficSource {
   std::size_t next_ = 0;
   sim::Timer timer_;
 
-  /// Cluster-owned connections, reused per ordered host pair.
-  std::map<std::pair<std::int32_t, std::int32_t>, tcp::TcpFlow*> flows_;
+  /// Backend-owned channels, reused per ordered host pair.
+  std::map<std::pair<std::int32_t, std::int32_t>, workload::Channel*> flows_;
 
   std::vector<FctRecord> records_;
   std::size_t posted_ = 0;

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/node.hpp"
+#include "sim/time.hpp"
+#include "tcp/cong_control.hpp"
+#include "tcp/receiver.hpp"
+#include "tcp/sender.hpp"
+
+namespace mltcp::tcp {
+class TcpFlow;
+}
+
+namespace mltcp::workload {
+
+/// Backend-neutral handle to one persistent unidirectional src->dst
+/// communication channel. This is the seam between the workload layer
+/// (Job, ShuffleJob, ServingJob, TrafficSource, scenario backgrounds) and a
+/// simulation backend: the packet backend maps a channel onto a real TCP
+/// connection, the flow-level backend (src/flowsim) onto a max-min-shared
+/// fluid transfer stream. Messages posted on one channel share fate in
+/// order — they queue FIFO behind each other like writes on one socket —
+/// on every backend, which is what makes sender-side queueing show up in
+/// FCT tails identically at both fidelities.
+class Channel {
+ public:
+  using Completion = std::function<void(sim::SimTime)>;
+
+  virtual ~Channel() = default;
+
+  /// Posts `bytes` on the channel; `on_complete` fires (with the completion
+  /// time) once every byte has been delivered and acknowledged (packet) or
+  /// fully transferred by the fluid model (flowsim).
+  virtual void send_message(std::int64_t bytes, Completion on_complete) = 0;
+
+  /// Fabric-unique flow id. Both backends hash this id for ECMP, so a
+  /// channel takes the same spine path at either fidelity.
+  virtual net::FlowId id() const = 0;
+
+  /// Packet-backend escape hatch: the underlying TCP connection, or nullptr
+  /// on backends without one. Monitors that sample cwnd/srtt are inherently
+  /// packet-level and must check for null.
+  virtual tcp::TcpFlow* tcp() { return nullptr; }
+};
+
+/// Everything a backend needs to open one channel. The transport fields
+/// (cc/sender/receiver) fully configure the packet backend; the flow-level
+/// backend instead inspects the congestion-control factory once to learn
+/// whether the channel is MLTCP-augmented (and with which aggressiveness
+/// function) — the steady-state weight the fluid allocation uses.
+struct ChannelSpec {
+  net::Host* src = nullptr;
+  net::Host* dst = nullptr;
+  net::FlowId id = 0;
+  tcp::CcFactory cc;  ///< Must be set.
+  tcp::SenderConfig sender;
+  tcp::ReceiverConfig receiver;
+};
+
+/// A simulation backend: creates channels against one run's world. The
+/// returned channels are owned by the backend and live until it is
+/// destroyed (after the run, like cluster-owned TCP flows).
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual Channel* create_channel(const ChannelSpec& spec) = 0;
+
+  /// Static display name ("packet", "flowsim") for reports and CSVs.
+  virtual const char* name() const = 0;
+};
+
+}  // namespace mltcp::workload

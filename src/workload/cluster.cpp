@@ -4,8 +4,68 @@
 
 namespace mltcp::workload {
 
+namespace {
+
+/// Packet-backend channel: a thin adapter over one TcpFlow. The virtual
+/// hop is the whole cost of backend neutrality on the packet path — the
+/// message itself still goes straight to the sender.
+class TcpChannel final : public Channel {
+ public:
+  explicit TcpChannel(tcp::TcpFlow* flow) : flow_(flow) {}
+
+  void send_message(std::int64_t bytes, Completion on_complete) override {
+    flow_->send_message(bytes, std::move(on_complete));
+  }
+
+  net::FlowId id() const override { return flow_->id(); }
+
+  tcp::TcpFlow* tcp() override { return flow_; }
+
+ private:
+  tcp::TcpFlow* flow_;
+};
+
+}  // namespace
+
 Cluster::Cluster(sim::Simulator& simulator, std::uint64_t seed)
     : sim_(simulator), rng_(seed) {}
+
+void Cluster::set_backend(Backend* backend) {
+  assert(flows_.empty() && channels_.empty() &&
+         "install the backend before creating any channels");
+  backend_ = backend;
+}
+
+Channel* Cluster::make_packet_channel(const FlowSpec& fs,
+                                      const tcp::CcFactory& cc,
+                                      const tcp::SenderConfig& sender,
+                                      const tcp::ReceiverConfig& receiver) {
+  auto flow = std::make_unique<tcp::TcpFlow>(sim_, *fs.src, *fs.dst,
+                                             next_flow_id_++, cc(), sender,
+                                             receiver);
+  auto channel = std::make_unique<TcpChannel>(flow.get());
+  Channel* ptr = channel.get();
+  flows_.push_back(std::move(flow));
+  channels_.push_back(std::move(channel));
+  return ptr;
+}
+
+Channel* Cluster::add_channel(const FlowSpec& fs, const tcp::CcFactory& cc,
+                              const tcp::SenderConfig& sender,
+                              const tcp::ReceiverConfig& receiver) {
+  assert(cc != nullptr && fs.src != nullptr && fs.dst != nullptr);
+  if (backend_ == nullptr) {
+    return make_packet_channel(fs, cc, sender, receiver);
+  }
+  ChannelSpec spec;
+  spec.src = fs.src;
+  spec.dst = fs.dst;
+  spec.id = next_flow_id_++;
+  spec.cc = cc;
+  spec.sender = sender;
+  spec.receiver = receiver;
+  return backend_->create_channel(spec);
+}
 
 Job* Cluster::add_job(const JobSpec& spec) {
   assert(spec.cc != nullptr && "JobSpec.cc (congestion control) must be set");
@@ -16,12 +76,9 @@ Job* Cluster::add_job(const JobSpec& spec) {
   bindings.reserve(spec.flows.size());
   for (const FlowSpec& fs : spec.flows) {
     assert(fs.src != nullptr && fs.dst != nullptr);
-    auto flow = std::make_unique<tcp::TcpFlow>(sim_, *fs.src, *fs.dst,
-                                               next_flow_id_++, spec.cc(),
-                                               spec.sender, spec.receiver);
-    bindings.push_back(Job::FlowBinding{flow.get(), fs.bytes_per_iteration});
-    raw_flows.push_back(flow.get());
-    flows_.push_back(std::move(flow));
+    Channel* channel = add_channel(fs, spec.cc, spec.sender, spec.receiver);
+    bindings.push_back(Job::FlowBinding{channel, fs.bytes_per_iteration});
+    if (tcp::TcpFlow* flow = channel->tcp()) raw_flows.push_back(flow);
   }
 
   JobConfig cfg;
@@ -45,13 +102,10 @@ Job* Cluster::add_job(const JobSpec& spec) {
 tcp::TcpFlow* Cluster::add_flow(const FlowSpec& fs, const tcp::CcFactory& cc,
                                 const tcp::SenderConfig& sender,
                                 const tcp::ReceiverConfig& receiver) {
-  assert(cc != nullptr && fs.src != nullptr && fs.dst != nullptr);
-  auto flow = std::make_unique<tcp::TcpFlow>(sim_, *fs.src, *fs.dst,
-                                             next_flow_id_++, cc(), sender,
-                                             receiver);
-  tcp::TcpFlow* ptr = flow.get();
-  flows_.push_back(std::move(flow));
-  return ptr;
+  assert(backend_ == nullptr &&
+         "add_flow is packet-only; use add_channel on other backends");
+  Channel* channel = add_channel(fs, cc, sender, receiver);
+  return channel->tcp();
 }
 
 void Cluster::start_all() {

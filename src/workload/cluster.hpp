@@ -9,6 +9,7 @@
 #include "sim/simulator.hpp"
 #include "tcp/cong_control.hpp"
 #include "tcp/flow.hpp"
+#include "workload/backend.hpp"
 #include "workload/collective.hpp"
 #include "workload/job.hpp"
 
@@ -33,8 +34,12 @@ struct JobSpec {
   tcp::ReceiverConfig receiver;
 };
 
-/// Owns the TCP flows and Job state machines of one experiment, allocating
-/// globally unique flow ids. The topology outlives the cluster.
+/// Owns the communication channels and Job state machines of one
+/// experiment, allocating globally unique flow ids. The topology outlives
+/// the cluster. By default channels are real TCP connections (the packet
+/// backend); set_backend() reroutes every subsequently created channel
+/// through an alternative simulation backend (src/flowsim) while the
+/// workload state machines stay unchanged.
 class Cluster {
  public:
   Cluster(sim::Simulator& simulator, std::uint64_t seed = 1);
@@ -42,14 +47,33 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  /// Creates flows and the job state machine. The job is not started.
+  /// Installs a non-owning channel backend (nullptr restores the built-in
+  /// packet backend). Call before any channels exist: mixing backends
+  /// within one run is not a supported configuration.
+  void set_backend(Backend* backend);
+  /// The installed backend, or nullptr when running packet-level.
+  Backend* backend() const { return backend_; }
+  /// "packet" or the installed backend's name, for reports and CSVs.
+  const char* backend_name() const {
+    return backend_ != nullptr ? backend_->name() : "packet";
+  }
+
+  /// Creates channels and the job state machine. The job is not started.
   /// Safe mid-run: scenario-driven job arrivals call this after start_all()
   /// and then start() the returned job themselves.
   Job* add_job(const JobSpec& spec);
 
-  /// Creates a standalone flow (no job state machine) with a cluster-unique
-  /// id. Scenario-driven background/legacy traffic posts messages on it
-  /// directly; the cluster owns its lifetime.
+  /// Creates a standalone channel (no job state machine) with a
+  /// cluster-unique flow id on the active backend. Traffic sources and
+  /// scenario-driven background/legacy traffic post messages on it
+  /// directly; the channel lives as long as the cluster (packet) or the
+  /// backend (others).
+  Channel* add_channel(const FlowSpec& fs, const tcp::CcFactory& cc,
+                       const tcp::SenderConfig& sender = {},
+                       const tcp::ReceiverConfig& receiver = {});
+
+  /// Packet-only convenience: add_channel + unwrap to the TCP connection.
+  /// Asserts when a non-packet backend is installed.
   tcp::TcpFlow* add_flow(const FlowSpec& fs, const tcp::CcFactory& cc,
                          const tcp::SenderConfig& sender = {},
                          const tcp::ReceiverConfig& receiver = {});
@@ -65,16 +89,26 @@ class Cluster {
   Job* job(std::size_t i) const { return jobs_.at(i).get(); }
   std::size_t job_count() const { return jobs_.size(); }
 
-  /// Flows created for job `i`, in FlowSpec order.
+  /// TCP flows created for job `i`, in FlowSpec order. Packet backend only:
+  /// empty vectors under a flow-level backend (whose channels have no
+  /// TcpFlow). Use job(i)->flows() for backend-neutral channel access.
   const std::vector<tcp::TcpFlow*>& flows_of(std::size_t i) const {
     return flows_by_job_.at(i);
   }
 
  private:
+  /// Built-in packet path: creates the TcpFlow and its Channel wrapper,
+  /// both cluster-owned.
+  Channel* make_packet_channel(const FlowSpec& fs, const tcp::CcFactory& cc,
+                               const tcp::SenderConfig& sender,
+                               const tcp::ReceiverConfig& receiver);
+
   sim::Simulator& sim_;
   sim::Rng rng_;
   net::FlowId next_flow_id_ = 1;
+  Backend* backend_ = nullptr;  ///< Non-owning; nullptr = packet.
   std::vector<std::unique_ptr<tcp::TcpFlow>> flows_;
+  std::vector<std::unique_ptr<Channel>> channels_;  ///< Packet wrappers.
   std::vector<std::vector<tcp::TcpFlow*>> flows_by_job_;
   std::vector<std::unique_ptr<Job>> jobs_;
 };

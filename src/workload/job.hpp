@@ -7,7 +7,7 @@
 
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
-#include "tcp/flow.hpp"
+#include "workload/backend.hpp"
 
 namespace mltcp::workload {
 
@@ -55,8 +55,10 @@ struct JobConfig {
 /// completion of the previous one.
 class Job {
  public:
+  /// One of the job's transfers: a backend-neutral channel (see
+  /// workload/backend.hpp) plus the bytes it moves each iteration.
   struct FlowBinding {
-    tcp::TcpFlow* flow = nullptr;
+    Channel* flow = nullptr;
     std::int64_t bytes_per_iteration = 0;
   };
 

@@ -1,0 +1,449 @@
+// Flow-level backend tests: the max-min allocation must reproduce the
+// analytic fair shares (weighted by MLTCP's aggressiveness function), route
+// resolution must agree with the packet backend's ECMP hash, faults must
+// stall/derate/reroute fluid flows the way they kill packets, channels must
+// keep connection FIFO semantics, campaign output must stay byte-identical
+// across thread counts, and a small-topology run must land within a stated
+// tolerance of the packet backend.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/aggressiveness.hpp"
+#include "core/mltcp.hpp"
+#include "flowsim/flow_simulator.hpp"
+#include "net/topology.hpp"
+#include "runner/campaign.hpp"
+#include "runner/sinks.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/reno.hpp"
+#include "traffic/jobs.hpp"
+#include "workload/cluster.hpp"
+
+namespace mltcp {
+namespace {
+
+tcp::CcFactory reno() {
+  return [] { return std::make_unique<tcp::RenoCC>(); };
+}
+
+/// Dumbbell world with the flow-level backend installed.
+struct FluidRig {
+  sim::Simulator sim;
+  net::Dumbbell d;
+  std::unique_ptr<flowsim::FlowSimulator> fs;
+  workload::Cluster cluster{sim};
+
+  explicit FluidRig(int hosts_per_side = 2,
+                    flowsim::FlowSimConfig cfg = {}) {
+    net::DumbbellConfig dc;
+    dc.hosts_per_side = hosts_per_side;
+    d = net::make_dumbbell(sim, dc);
+    fs = std::make_unique<flowsim::FlowSimulator>(sim, *d.topology, cfg);
+    cluster.set_backend(fs.get());
+  }
+};
+
+// ------------------------------------------------------------ max-min core
+
+TEST(FlowsimMaxMin, EqualShareOnSharedBottleneck) {
+  FluidRig rig;
+  workload::Channel* a =
+      rig.cluster.add_channel({rig.d.left[0], rig.d.right[0], 0}, reno());
+  workload::Channel* b =
+      rig.cluster.add_channel({rig.d.left[1], rig.d.right[1], 0}, reno());
+
+  const std::int64_t bytes = 10'000'000;
+  sim::SimTime done_a = -1;
+  sim::SimTime done_b = -1;
+  a->send_message(bytes, [&](sim::SimTime t) { done_a = t; });
+  b->send_message(bytes, [&](sim::SimTime t) { done_b = t; });
+  rig.sim.run_until(sim::seconds(5));
+
+  ASSERT_GT(done_a, 0);
+  ASSERT_GT(done_b, 0);
+  // Two equal flows split the 1 Gb/s bottleneck: 10 MB at 0.5 Gb/s = 160 ms
+  // (plus microseconds of propagation).
+  const double expect = 8.0 * static_cast<double>(bytes) / 0.5e9;
+  EXPECT_NEAR(sim::to_seconds(done_a), expect, 0.01 * expect);
+  EXPECT_NEAR(sim::to_seconds(done_b), expect, 0.01 * expect);
+}
+
+TEST(FlowsimMaxMin, NonBottleneckedFlowsRunAtAccessRate) {
+  // Opposite directions: each flow has its own bottleneck direction, so
+  // both run at the full 1 Gb/s.
+  FluidRig rig;
+  workload::Channel* fwd =
+      rig.cluster.add_channel({rig.d.left[0], rig.d.right[0], 0}, reno());
+  workload::Channel* rev =
+      rig.cluster.add_channel({rig.d.right[1], rig.d.left[1], 0}, reno());
+  sim::SimTime done_f = -1;
+  sim::SimTime done_r = -1;
+  fwd->send_message(10'000'000, [&](sim::SimTime t) { done_f = t; });
+  rev->send_message(10'000'000, [&](sim::SimTime t) { done_r = t; });
+  rig.sim.run_until(sim::seconds(5));
+  const double expect = 8.0 * 10'000'000 / 1e9;
+  ASSERT_GT(done_f, 0);
+  ASSERT_GT(done_r, 0);
+  EXPECT_NEAR(sim::to_seconds(done_f), expect, 0.01 * expect);
+  EXPECT_NEAR(sim::to_seconds(done_r), expect, 0.01 * expect);
+}
+
+TEST(FlowsimMaxMin, WeightedShareFollowsAggressivenessFunction) {
+  // A constant-F MLTCP channel against a plain one: the fluid allocation
+  // must split the bottleneck F : 1.
+  FluidRig rig;
+  auto f3 = std::make_shared<core::CustomAggressiveness>(
+      [](double) { return 3.0; }, "const3");
+  workload::Channel* heavy = rig.cluster.add_channel(
+      {rig.d.left[0], rig.d.right[0], 0},
+      core::mltcp_reno_factory(core::MltcpConfig{}, f3));
+  workload::Channel* light =
+      rig.cluster.add_channel({rig.d.left[1], rig.d.right[1], 0}, reno());
+
+  heavy->send_message(50'000'000, [](sim::SimTime) {});
+  light->send_message(50'000'000, [](sim::SimTime) {});
+  rig.sim.run_until(sim::milliseconds(50));
+
+  const auto rates = rig.fs->current_rates();
+  ASSERT_EQ(rates.size(), 2u);
+  const double heavy_rate =
+      rates[0].flow == heavy->id() ? rates[0].rate_bps : rates[1].rate_bps;
+  const double light_rate =
+      rates[0].flow == light->id() ? rates[0].rate_bps : rates[1].rate_bps;
+  EXPECT_NEAR(heavy_rate, 0.75e9, 1e6);
+  EXPECT_NEAR(light_rate, 0.25e9, 1e6);
+}
+
+TEST(FlowsimMaxMin, LinearRampRaisesWeightWithProgress) {
+  // The paper's linear F: a flow further into its message carries a higher
+  // weight. Start one flow half a message ahead of the other and compare
+  // the weights the allocator assigns.
+  FluidRig rig;
+  const core::MltcpConfig cfg;
+  workload::Channel* ahead = rig.cluster.add_channel(
+      {rig.d.left[0], rig.d.right[0], 0}, core::mltcp_reno_factory(cfg));
+  workload::Channel* behind = rig.cluster.add_channel(
+      {rig.d.left[1], rig.d.right[1], 0}, core::mltcp_reno_factory(cfg));
+
+  ahead->send_message(10'000'000, [](sim::SimTime) {});
+  rig.sim.run_until(sim::milliseconds(60));  // ~60% through at full rate.
+  behind->send_message(10'000'000, [](sim::SimTime) {});
+  rig.sim.run_until(sim::milliseconds(80));
+
+  const auto rates = rig.fs->current_rates();
+  ASSERT_EQ(rates.size(), 2u);
+  const flowsim::FlowRate& ra =
+      rates[0].flow == ahead->id() ? rates[0] : rates[1];
+  const flowsim::FlowRate& rb =
+      rates[0].flow == behind->id() ? rates[0] : rates[1];
+  EXPECT_GT(ra.weight, rb.weight)
+      << "F(bytes_ratio) must favor the flow closer to completion";
+  EXPECT_GT(ra.rate_bps, rb.rate_bps);
+}
+
+TEST(FlowsimMaxMin, ChannelIsFifoLikeAConnection) {
+  FluidRig rig;
+  workload::Channel* ch =
+      rig.cluster.add_channel({rig.d.left[0], rig.d.right[0], 0}, reno());
+  std::vector<int> order;
+  sim::SimTime first = -1;
+  sim::SimTime second = -1;
+  ch->send_message(10'000'000, [&](sim::SimTime t) {
+    order.push_back(1);
+    first = t;
+  });
+  ch->send_message(10'000'000, [&](sim::SimTime t) {
+    order.push_back(2);
+    second = t;
+  });
+  rig.sim.run_until(sim::seconds(5));
+  ASSERT_EQ(order, (std::vector<int>{1, 2}));
+  // Sole flow on the bottleneck: each message serializes at 1 Gb/s, the
+  // second strictly after the first.
+  const double one = 8.0 * 10'000'000 / 1e9;
+  EXPECT_NEAR(sim::to_seconds(first), one, 0.01 * one);
+  EXPECT_NEAR(sim::to_seconds(second), 2 * one, 0.01 * one);
+}
+
+// --------------------------------------------------------------- ECMP parity
+
+TEST(FlowsimEcmp, RouteChoiceMatchesPacketBackendHash) {
+  // Blackhole one tor->spine link: exactly the flows whose packet-backend
+  // ECMP hash (Switch::route_for_flow) picks that spine must stall.
+  sim::Simulator sim;
+  net::LeafSpineConfig cfg;
+  cfg.racks = 2;
+  cfg.hosts_per_rack = 2;
+  cfg.spines = 2;
+  auto ls = net::make_leaf_spine(sim, cfg);
+  flowsim::FlowSimulator fs(sim, *ls.topology);
+  workload::Cluster cluster(sim);
+  cluster.set_backend(&fs);
+
+  net::Host* src = ls.racks[0][0];
+  net::Host* dst = ls.racks[1][0];
+  net::Link* poisoned = ls.topology->link_between(*ls.tors[0], *ls.spines[0]);
+  ASSERT_NE(poisoned, nullptr);
+  poisoned->set_blackhole(true);
+  ls.topology->notify_changed();
+
+  std::vector<workload::Channel*> chans;
+  std::vector<bool> done;
+  for (int i = 0; i < 8; ++i) {
+    workload::Channel* ch = cluster.add_channel({src, dst, 0}, reno());
+    const std::size_t idx = done.size();
+    done.push_back(false);
+    ch->send_message(1'000'000, [&done, idx](sim::SimTime) {
+      done[idx] = true;
+    });
+    chans.push_back(ch);
+  }
+  sim.run_until(sim::seconds(10));
+
+  int stalled = 0;
+  for (std::size_t i = 0; i < chans.size(); ++i) {
+    const net::Link* packet_choice =
+        ls.tors[0]->route_for_flow(dst->id(), chans[i]->id());
+    if (packet_choice == poisoned) {
+      ++stalled;
+      EXPECT_FALSE(done[i]) << "flow " << chans[i]->id()
+                            << " hashes into the blackhole and must stall";
+    } else {
+      EXPECT_TRUE(done[i]) << "flow " << chans[i]->id()
+                           << " avoids the blackhole and must finish";
+    }
+  }
+  EXPECT_GT(stalled, 0) << "hash never picked the poisoned spine (test vacuous)";
+  EXPECT_LT(stalled, 8) << "hash always picked the poisoned spine";
+}
+
+// -------------------------------------------------------------------- faults
+
+TEST(FlowsimFaults, BlackholeStallsAndResumeCompletes) {
+  FluidRig rig;
+  workload::Channel* ch =
+      rig.cluster.add_channel({rig.d.left[0], rig.d.right[0], 0}, reno());
+  sim::SimTime done = -1;
+  ch->send_message(10'000'000, [&](sim::SimTime t) { done = t; });
+
+  rig.sim.run_until(sim::milliseconds(20));  // ~25% transferred.
+  rig.d.bottleneck->set_blackhole(true);
+  rig.d.topology->notify_changed();
+  rig.sim.run_until(sim::milliseconds(500));
+  EXPECT_EQ(done, -1) << "flow completed through a blackholed bottleneck";
+  EXPECT_GE(rig.fs->stats().stalls, 1);
+
+  rig.d.bottleneck->set_blackhole(false);
+  rig.d.topology->notify_changed();
+  rig.sim.run_until(sim::seconds(5));
+  ASSERT_GT(done, 0);
+  // 80 ms of transfer work + the 480 ms stall window.
+  const double expect = 0.08 + 0.48;
+  EXPECT_NEAR(sim::to_seconds(done), expect, 0.01);
+}
+
+TEST(FlowsimFaults, DropBurstDeratesCapacity) {
+  FluidRig rig;
+  workload::Channel* ch =
+      rig.cluster.add_channel({rig.d.left[0], rig.d.right[0], 0}, reno());
+  sim::SimTime done = -1;
+  rig.d.bottleneck->set_fault_drop(0.5, 7);
+  rig.d.topology->notify_changed();
+  ch->send_message(10'000'000, [&](sim::SimTime t) { done = t; });
+  rig.sim.run_until(sim::seconds(5));
+  ASSERT_GT(done, 0);
+  // Half the packets die: the goodput model halves the link.
+  const double expect = 8.0 * 10'000'000 / 0.5e9;
+  EXPECT_NEAR(sim::to_seconds(done), expect, 0.01 * expect);
+}
+
+TEST(FlowsimFaults, LinkDownReroutesOverSurvivingSpine) {
+  sim::Simulator sim;
+  net::LeafSpineConfig cfg;
+  cfg.racks = 2;
+  cfg.hosts_per_rack = 2;
+  cfg.spines = 2;
+  auto ls = net::make_leaf_spine(sim, cfg);
+  flowsim::FlowSimulator fs(sim, *ls.topology);
+  workload::Cluster cluster(sim);
+  cluster.set_backend(&fs);
+
+  // Find a flow id the hash sends over spine0, then cut spine0 mid-flight:
+  // the incremental route repair must push it onto spine1 and it must still
+  // complete.
+  net::Host* src = ls.racks[0][0];
+  net::Host* dst = ls.racks[1][0];
+  net::Link* doomed = ls.topology->link_between(*ls.tors[0], *ls.spines[0]);
+  workload::Channel* victim = nullptr;
+  sim::SimTime done = -1;
+  for (int i = 0; i < 8 && victim == nullptr; ++i) {
+    workload::Channel* ch = cluster.add_channel({src, dst, 0}, reno());
+    if (ls.tors[0]->route_for_flow(dst->id(), ch->id()) == doomed) {
+      victim = ch;
+    }
+  }
+  ASSERT_NE(victim, nullptr) << "no flow id hashed onto spine0";
+  victim->send_message(50'000'000, [&](sim::SimTime t) { done = t; });
+  sim.run_until(sim::milliseconds(10));
+  ls.topology->set_link_pair_state(*ls.tors[0], *ls.spines[0], false);
+  sim.run_until(sim::seconds(10));
+  ASSERT_GT(done, 0) << "flow did not survive the spine failover";
+  EXPECT_GE(fs.stats().reroutes, 1);
+  EXPECT_EQ(fs.stats().stalls, 0)
+      << "repair left a live path; the flow must not stall";
+}
+
+// ------------------------------------------------------ workload integration
+
+TEST(FlowsimWorkload, TrainingJobCompletesIterations) {
+  FluidRig rig;
+  workload::JobSpec spec;
+  spec.name = "train";
+  spec.flows = {{rig.d.left[0], rig.d.right[0], 1'000'000},
+                {rig.d.left[1], rig.d.right[1], 1'000'000}};
+  spec.compute_time = sim::milliseconds(5);
+  spec.max_iterations = 10;
+  spec.cc = reno();
+  workload::Job* job = rig.cluster.add_job(spec);
+  rig.cluster.start_all();
+  rig.sim.run_until(sim::seconds(5));
+
+  EXPECT_EQ(job->completed_iterations(), 10);
+  // Comm phase: two 1 MB flows split the bottleneck, 16 ms each.
+  const auto comm = job->comm_times_seconds();
+  ASSERT_FALSE(comm.empty());
+  EXPECT_NEAR(comm.front(), 0.016, 0.002);
+  EXPECT_EQ(rig.fs->stats().messages_completed, 20);
+}
+
+TEST(FlowsimWorkload, ServingJobFanoutOnFluidBackend) {
+  FluidRig rig(4);
+  traffic::ServingConfig cfg;
+  cfg.frontend = rig.d.left[0];
+  cfg.backends = {rig.d.right[0], rig.d.right[1], rig.d.right[2]};
+  cfg.requests_per_second = 200.0;
+  cfg.fanout = 2;
+  cfg.stop_time = sim::milliseconds(500);
+  cfg.cc = reno();
+  traffic::ServingJob serving(rig.sim, rig.cluster, cfg);
+  serving.start();
+  rig.sim.run_until(sim::seconds(5));
+  EXPECT_GT(serving.requests_issued(), 50u);
+  EXPECT_EQ(serving.requests_completed(), serving.requests_issued());
+}
+
+// ---------------------------------------------------------------- determinism
+
+/// One faulted flowsim run reported as CSV rows (mirrors the scenario
+/// suite's faulted_run, with the fluid backend installed).
+void fluid_faulted_run(std::size_t run_index, std::uint64_t seed,
+                       runner::CsvSink& csv) {
+  FluidRig rig;
+  workload::JobSpec spec;
+  spec.name = "j0";
+  spec.flows = {{rig.d.left[0], rig.d.right[0], 600'000}};
+  spec.compute_time = sim::milliseconds(5);
+  spec.max_iterations = 40;
+  spec.cc = core::mltcp_reno_factory();
+  rig.cluster.add_job(spec);
+
+  scenario::Scenario s;
+  s.link_down(sim::milliseconds(40), "swL", "swR");
+  s.link_up(sim::milliseconds(120), "swL", "swR");
+  s.drop_burst(sim::milliseconds(200), "swL", "swR", 0.02, seed);
+  s.drop_burst(sim::milliseconds(400), "swL", "swR", 0.0);
+  s.background_burst(sim::milliseconds(350), 0, 1, 300'000);
+
+  scenario::ScenarioEngine engine(rig.sim, *rig.d.topology, rig.cluster);
+  engine.install(s);
+  rig.cluster.start_all();
+  rig.sim.run_until(sim::seconds(20));
+
+  const workload::Job* job = rig.cluster.job(0);
+  ASSERT_GT(job->completed_iterations(), 0);
+  csv.append(run_index,
+             std::vector<double>{
+                 static_cast<double>(run_index),
+                 static_cast<double>(job->completed_iterations()),
+                 sim::to_seconds(job->iterations().back().iter_end),
+                 static_cast<double>(rig.fs->stats().messages_completed),
+                 static_cast<double>(rig.fs->stats().recomputes),
+                 static_cast<double>(engine.applied_events())});
+}
+
+std::string fluid_faulted_campaign(int threads) {
+  runner::CsvSink csv(
+      {"run", "iterations", "end_s", "messages", "recomputes", "events"});
+  std::vector<std::uint64_t> seeds = {21, 22, 23, 24, 25, 26};
+  runner::CampaignOptions opts;
+  opts.threads = threads;
+  runner::run_campaign<std::uint64_t, int>(
+      seeds,
+      [&](const std::uint64_t& seed, std::size_t i) {
+        fluid_faulted_run(i, seed, csv);
+        return 0;
+      },
+      opts);
+  return csv.serialize();
+}
+
+TEST(FlowsimDeterminism, FaultedCampaignByteIdenticalAcrossThreadCounts) {
+  const std::string serial = fluid_faulted_campaign(1);
+  EXPECT_NE(serial.find("\n5,"), std::string::npos);
+  const std::string parallel = fluid_faulted_campaign(4);
+  EXPECT_EQ(parallel, serial)
+      << "fluid allocation must not depend on campaign scheduling";
+}
+
+// ------------------------------------------------------- packet-level parity
+
+TEST(FlowsimParity, SmallTopologyIterationTimesMatchPacketBackend) {
+  // Stated tolerance: mean iteration time within 25% of the packet backend
+  // on a 2-flow dumbbell training job. The fluid model has no slow start,
+  // loss recovery or queueing delay, so it runs slightly fast; the fidelity
+  // gate (bench/fidelity_gate) tracks the same bound campaign-wide.
+  auto run = [](bool fluid) {
+    sim::Simulator sim;
+    net::DumbbellConfig dc;
+    dc.hosts_per_side = 2;
+    auto d = net::make_dumbbell(sim, dc);
+    std::unique_ptr<flowsim::FlowSimulator> fs;
+    workload::Cluster cluster(sim);
+    if (fluid) {
+      fs = std::make_unique<flowsim::FlowSimulator>(sim, *d.topology);
+      cluster.set_backend(fs.get());
+    }
+    workload::JobSpec spec;
+    spec.name = "train";
+    spec.flows = {{d.left[0], d.right[0], 2'000'000},
+                  {d.left[1], d.right[1], 2'000'000}};
+    spec.compute_time = sim::milliseconds(10);
+    spec.max_iterations = 15;
+    spec.cc = core::mltcp_reno_factory();
+    workload::Job* job = cluster.add_job(spec);
+    cluster.start_all();
+    sim.run_until(sim::seconds(10));
+    const auto times = job->iteration_times_seconds();
+    const double mean =
+        std::accumulate(times.begin(), times.end(), 0.0) /
+        static_cast<double>(times.size());
+    return std::pair<int, double>{job->completed_iterations(), mean};
+  };
+  const auto [packet_iters, packet_mean] = run(false);
+  const auto [fluid_iters, fluid_mean] = run(true);
+  ASSERT_EQ(packet_iters, 15);
+  ASSERT_EQ(fluid_iters, 15);
+  EXPECT_NEAR(fluid_mean, packet_mean, 0.25 * packet_mean)
+      << "fluid iteration time drifted beyond the 25% parity bound";
+}
+
+}  // namespace
+}  // namespace mltcp

@@ -72,6 +72,25 @@ TEST(FluidExtra, SmallerStepConvergesToSameAnswer) {
   EXPECT_NEAR(converged(1e-3), converged(1e-4), 0.01);
 }
 
+TEST(FluidExtra, RunIterationsReportsTruncation) {
+  FluidConfig cfg;
+  cfg.dt = 1e-3;
+  // Each iteration takes ~1s; a 2s budget cannot fit 100 iterations.
+  FluidSimulator truncated(cfg, {job(0.5, 0.5)});
+  EXPECT_FALSE(truncated.run_iterations(100, 2.0));
+  EXPECT_TRUE(truncated.truncated());
+  EXPECT_LT(truncated.iterations(0).size(), 100u)
+      << "a truncated run must not have reached its target";
+
+  FluidSimulator complete(cfg, {job(0.5, 0.5)});
+  EXPECT_TRUE(complete.run_iterations(3, 100.0));
+  EXPECT_FALSE(complete.truncated());
+
+  // A plain time advance clears the flag: it has no iteration target.
+  truncated.run_until(3.0);
+  EXPECT_FALSE(truncated.truncated());
+}
+
 TEST(FluidExtra, StaggeredStartsHonored) {
   FluidConfig cfg;
   cfg.dt = 1e-4;
