@@ -1,5 +1,7 @@
 #include "bench_common.hpp"
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -7,6 +9,13 @@
 #include "workload/collective.hpp"
 
 namespace mltcp::bench {
+
+double peak_rss_mb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
 
 std::unique_ptr<Experiment> make_experiment(const ScenarioConfig& cfg) {
   auto exp = std::make_unique<Experiment>();

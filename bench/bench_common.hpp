@@ -80,6 +80,29 @@ sim::RateBinner* bottleneck_binner_for_job(Experiment& exp,
                                            std::size_t job_index,
                                            sim::SimTime bin_width);
 
+/// ---- memory attribution ----
+
+/// Process-wide peak RSS in MB. This is a kernel high-water mark: across a
+/// campaign it reflects the largest-footprint run so far plus the harness,
+/// never the current scenario alone — report it as the campaign-level peak,
+/// not a per-run cost.
+double peak_rss_mb();
+
+/// Per-run RSS attribution: sample the high-water mark around one run and
+/// report how much that run grew it. A delta of 0 means the run fit inside
+/// memory an earlier run already touched ("<= previous peak", not "no
+/// allocations"), and under concurrent execution (MLTCP_THREADS > 1) a
+/// neighbour's growth can land in this run's window — deltas are only
+/// attributable in serial campaigns.
+struct RssProbe {
+  double before_mb = 0.0;
+  double after_mb = 0.0;
+
+  static RssProbe begin() { return RssProbe{peak_rss_mb(), 0.0}; }
+  void end() { after_mb = peak_rss_mb(); }
+  double delta_mb() const { return after_mb - before_mb; }
+};
+
 /// ---- report helpers (stdout, markdown-ish tables) ----
 
 void print_header(const std::string& title);

@@ -29,8 +29,18 @@
 //                                  forwarding path. The pattern is recorded
 //                                  in the RESULT lines / CSV / JSON, keeping
 //                                  background and clean numbers separate.
-
-#include <sys/resource.h>
+//   cluster_scale --shards=N       run the leaf-spine sweep on the sharded
+//                                  PDES engine (N shards, one worker thread
+//                                  each; MLTCP_SHARDS is the env twin, the
+//                                  flag wins). Model state is byte-identical
+//                                  at every shard count — the `digest` field
+//                                  and the cluster_scale_sim.csv rows must
+//                                  not change with N, only wall time does.
+//                                  Dumbbell scenarios stay serial (a 2-node
+//                                  core offers no useful cut).
+//   cluster_scale --jobs=N         add one leaf-spine point with N jobs (a
+//                                  short window), e.g. the 2048-job sharded
+//                                  scale record.
 
 #include <algorithm>
 #include <chrono>
@@ -38,6 +48,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +56,8 @@
 #include "bench_common.hpp"
 #include "core/mltcp.hpp"
 #include "net/topology.hpp"
+#include "pdes/partition.hpp"
+#include "pdes/sharded_runner.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/cong_control.hpp"
 #include "traffic/source.hpp"
@@ -55,32 +68,83 @@ namespace {
 
 using namespace mltcp;
 
-double peak_rss_mb() {
-  struct rusage ru {};
-  getrusage(RUSAGE_SELF, &ru);
-  // Linux reports ru_maxrss in kilobytes.
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;
-}
-
 struct RunResult {
   std::string name;
   int jobs = 0;
   int flows = 0;
+  int shards = 1;
+  int workers = 1;
   double sim_s = 0.0;
   std::uint64_t events = 0;
   double wall_s = 0.0;
   double events_per_sec = 0.0;
-  double rss_mb = 0.0;
+  double rss_mb = 0.0;        ///< Campaign-level peak (high-water mark).
+  double rss_delta_mb = 0.0;  ///< Peak growth during this run (serial only).
+  std::uint64_t null_msgs = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t digest = 0;  ///< FNV-1a over final model state.
   std::string background = "none";
 };
 
 void print_result(const RunResult& r) {
-  std::printf("RESULT name=%s jobs=%d flows=%d sim_s=%.3f events=%" PRIu64
-              " wall_s=%.4f events_per_sec=%.1f peak_rss_mb=%.1f "
-              "background=%s\n",
-              r.name.c_str(), r.jobs, r.flows, r.sim_s, r.events, r.wall_s,
-              r.events_per_sec, r.rss_mb, r.background.c_str());
+  std::printf("RESULT name=%s jobs=%d flows=%d shards=%d workers=%d "
+              "sim_s=%.3f events=%" PRIu64 " wall_s=%.4f "
+              "events_per_sec=%.1f peak_rss_mb=%.1f rss_delta_mb=%.1f "
+              "null_msgs=%" PRIu64 " stalls=%" PRIu64 " digest=%016" PRIx64
+              " background=%s\n",
+              r.name.c_str(), r.jobs, r.flows, r.shards, r.workers, r.sim_s,
+              r.events, r.wall_s, r.events_per_sec, r.rss_mb, r.rss_delta_mb,
+              r.null_msgs, r.stalls, r.digest, r.background.c_str());
   std::fflush(stdout);
+}
+
+// ------------------------------------------------------------ state digest
+
+/// FNV-1a over the run's observable model state: every job's iteration
+/// records, every link / host / switch counter, and the background source's
+/// transfer totals. Identical across execution modes by the PDES identity
+/// guarantee — the byte-diffable proof that sharding changed nothing but
+/// wall time.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+std::uint64_t state_digest(const workload::Cluster& cluster,
+                           const net::Topology& topo,
+                           const traffic::TrafficSource* background) {
+  Fnv f;
+  for (std::size_t j = 0; j < cluster.job_count(); ++j) {
+    const workload::Job* job = cluster.job(j);
+    f.add(static_cast<std::uint64_t>(job->completed_iterations()));
+    for (const workload::IterationRecord& r : job->iterations()) {
+      f.add(static_cast<std::uint64_t>(r.comm_start));
+      f.add(static_cast<std::uint64_t>(r.comm_end));
+      f.add(static_cast<std::uint64_t>(r.iter_end));
+    }
+  }
+  for (const auto& link : topo.links()) {
+    f.add(static_cast<std::uint64_t>(link->bytes_transmitted()));
+    f.add(static_cast<std::uint64_t>(link->packets_transmitted()));
+    f.add(static_cast<std::uint64_t>(link->fault_drops()));
+  }
+  for (const net::Host* h : topo.hosts()) {
+    f.add(static_cast<std::uint64_t>(h->delivered_packets()));
+  }
+  for (const net::Switch* s : topo.switches()) {
+    f.add(static_cast<std::uint64_t>(s->forwarded_packets()));
+  }
+  if (background != nullptr) {
+    f.add(background->posted());
+    f.add(background->completed());
+    f.add(static_cast<std::uint64_t>(background->bytes_completed()));
+  }
+  return f.h;
 }
 
 // ---------------------------------------------------------------- background
@@ -117,11 +181,14 @@ BackgroundSpec parse_background(const std::string& name) {
 /// Overlays the pattern on `hosts` for the whole measurement window. Plain
 /// Reno with Pareto sizes — the legacy datacenter mix the training jobs
 /// contend with; intensity is fixed so events/sec across sweeps stays
-/// comparable.
+/// comparable. Under sharded execution pass `lane_of`/`lanes` (the
+/// partition's shard mapper) so arrivals replay on per-shard lanes — the
+/// arrival schedule, flow ids and FCT records stay identical to serial.
 std::unique_ptr<traffic::TrafficSource> install_background(
     sim::Simulator& sim, workload::Cluster& cluster,
     std::vector<net::Host*> hosts, const BackgroundSpec& spec,
-    sim::SimTime window) {
+    sim::SimTime window,
+    const std::function<int(const net::Host*)>& lane_of = {}, int lanes = 1) {
   if (!spec.enabled) return nullptr;
   auto source = std::make_unique<traffic::TrafficSource>(
       sim, cluster, std::move(hosts),
@@ -137,26 +204,43 @@ std::unique_ptr<traffic::TrafficSource> install_background(
   cfg.start = 0;
   cfg.stop = window;
   cfg.seed = 1;  // One fixed stream per pattern; repeats stay identical.
+  if (lane_of) source->set_lane_map(lane_of, lanes);
   source->install(cfg);
   return source;
 }
 
-/// Runs `sim` until `deadline` and fills in the measured rates.
+/// Runs `sim` (serial) or `runner` (sharded, when non-null) until `deadline`
+/// and fills in the measured rates plus the per-run RSS delta.
 RunResult measure(const std::string& name, int jobs, int flows,
-                  sim::Simulator& sim, sim::SimTime deadline) {
+                  sim::Simulator& sim, sim::SimTime deadline,
+                  pdes::ShardedRunner* runner = nullptr) {
   RunResult r;
   r.name = name;
   r.jobs = jobs;
   r.flows = flows;
   r.sim_s = sim::to_seconds(deadline);
+  auto probe = bench::RssProbe::begin();
   const auto t0 = std::chrono::steady_clock::now();
-  sim.run_until(deadline);
+  if (runner != nullptr) {
+    runner->run_until(deadline);
+  } else {
+    sim.run_until(deadline);
+  }
   const auto t1 = std::chrono::steady_clock::now();
+  probe.end();
   r.events = sim.events_executed();
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   r.events_per_sec =
       r.wall_s > 0.0 ? static_cast<double>(r.events) / r.wall_s : 0.0;
-  r.rss_mb = peak_rss_mb();
+  r.rss_mb = bench::peak_rss_mb();
+  r.rss_delta_mb = probe.delta_mb();
+  if (runner != nullptr) {
+    r.shards = runner->shards();
+    r.workers = runner->workers();
+    const pdes::ShardStats totals = runner->totals();
+    r.null_msgs = totals.null_updates;
+    r.stalls = totals.stalls;
+  }
   return r;
 }
 
@@ -188,6 +272,7 @@ RunResult run_dumbbell(int n_jobs, sim::SimTime window,
   exp->cluster->start_all();
   RunResult r = measure("dumbbell", n_jobs, n_jobs * 4, exp->sim, window);
   r.background = background.label;
+  r.digest = state_digest(*exp->cluster, *exp->dumbbell.topology, source.get());
   return r;
 }
 
@@ -197,8 +282,14 @@ RunResult run_dumbbell(int n_jobs, sim::SimTime window,
 /// racks x spines fabric. Jobs are placed round-robin on rack pairs
 /// (rack r -> rack r+1), so neighbouring jobs share ToR uplinks and the
 /// spine layer spreads flows by ECMP where available.
+///
+/// With `shards > 1` the run executes on the sharded PDES engine: the
+/// fabric is partitioned along rack boundaries (every job's sender hosts
+/// co-located so job control stays shard-local), background arrivals replay
+/// on per-shard lanes, and jobs kick off in their sender's shard. The model
+/// state — and therefore `digest` — is byte-identical to the serial run.
 RunResult run_leaf_spine(int n_jobs, int flows_per_job, sim::SimTime window,
-                         const BackgroundSpec& background) {
+                         const BackgroundSpec& background, int shards) {
   sim::Simulator sim;
   net::LeafSpineConfig ls_cfg;
   ls_cfg.racks = 16;
@@ -215,7 +306,7 @@ RunResult run_leaf_spine(int n_jobs, int flows_per_job, sim::SimTime window,
   mcfg.tracker.total_bytes = total_bytes / flows_per_job;
   mcfg.tracker.comp_time = workload::compute_time(gpt2) / 2;
 
-  workload::Cluster cluster(sim);
+  std::vector<workload::JobSpec> specs;
   for (int j = 0; j < n_jobs; ++j) {
     const int src_rack = j % ls_cfg.racks;
     const int dst_rack = (src_rack + 1) % ls_cfg.racks;
@@ -231,18 +322,38 @@ RunResult run_leaf_spine(int n_jobs, int flows_per_job, sim::SimTime window,
     spec.compute_time = workload::compute_time(gpt2);
     spec.start_time = sim::milliseconds(10 * (j % 64));
     spec.cc = core::mltcp_reno_factory(mcfg);
-    cluster.add_job(spec);
+    specs.push_back(std::move(spec));
   }
+
+  workload::Cluster cluster(sim);
+  for (const workload::JobSpec& spec : specs) cluster.add_job(spec);
   std::vector<net::Host*> hosts;
   for (const auto& rack : ls.racks) {
     hosts.insert(hosts.end(), rack.begin(), rack.end());
   }
-  const auto source = install_background(sim, cluster, std::move(hosts),
-                                         background, window);
-  cluster.start_all();
+
+  std::unique_ptr<pdes::ShardedRunner> runner;
+  std::unique_ptr<traffic::TrafficSource> source;
+  if (shards > 1) {
+    pdes::PartitionOptions popts;
+    popts.shards = shards;
+    popts.co_locate = pdes::co_locate_senders(specs);
+    const pdes::Partition part = pdes::partition_topology(*ls.topology, popts);
+    sim.configure_shards(part.shards);
+    source = install_background(
+        sim, cluster, std::move(hosts), background, window,
+        [part](const net::Host* h) { return part.shard_of(h); }, part.shards);
+    runner = std::make_unique<pdes::ShardedRunner>(sim, *ls.topology, part);
+    pdes::start_all_sharded(cluster, specs, sim, part);
+  } else {
+    source = install_background(sim, cluster, std::move(hosts), background,
+                                window);
+    cluster.start_all();
+  }
   RunResult r = measure("leafspine", n_jobs, n_jobs * flows_per_job, sim,
-                        window);
+                        window, runner.get());
   r.background = background.label;
+  r.digest = state_digest(cluster, *ls.topology, source.get());
   return r;
 }
 
@@ -251,6 +362,8 @@ RunResult run_leaf_spine(int n_jobs, int flows_per_job, sim::SimTime window,
 int main(int argc, char** argv) {
   bool quick = false;
   int repeat = 1;
+  int shards = pdes::shards_from_env();
+  int extra_jobs = 0;
   std::string only;
   std::string background_name;
   for (int i = 1; i < argc; ++i) {
@@ -261,6 +374,12 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--background=", 13) == 0) {
       background_name = argv[i] + 13;
+    }
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::max(1, std::atoi(argv[i] + 9));
+    }
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      extra_jobs = std::max(0, std::atoi(argv[i] + 7));
     }
   }
   const BackgroundSpec background = parse_background(background_name);
@@ -280,10 +399,17 @@ int main(int argc, char** argv) {
   };
 
   bench::print_header(quick ? "cluster scale (quick)" : "cluster scale");
+  if (shards > 1) {
+    std::printf("sharded PDES execution: %d shards requested "
+                "(dumbbell scenarios stay serial)\n",
+                shards);
+  }
   std::vector<RunResult> results;
 
   // Dumbbell: the perf-gated scenarios. Windows sized so each run executes
   // tens of millions of events — long enough to dominate setup cost.
+  // Always serial: a dumbbell has exactly one inter-switch link, so a cut
+  // would serialize on the bottleneck anyway.
   if (selected("dumbbell")) {
     results.push_back(best_of([&] {
       return run_dumbbell(2, sim::seconds(quick ? 4 : 20), background);
@@ -302,7 +428,15 @@ int main(int argc, char** argv) {
       const sim::SimTime window =
           quick ? sim::milliseconds(1500) : sim::seconds(jobs >= 128 ? 2 : 4);
       results.push_back(best_of([&] {
-        return run_leaf_spine(jobs, flows_per_job, window, background);
+        return run_leaf_spine(jobs, flows_per_job, window, background, shards);
+      }));
+    }
+    // Optional extra scale point (e.g. the 2048-job sharded record): a short
+    // window keeps the wall time bounded while every job still posts flows.
+    if (extra_jobs > 0) {
+      results.push_back(best_of([&] {
+        return run_leaf_spine(extra_jobs, flows_per_job,
+                              sim::milliseconds(500), background, shards);
       }));
     }
   }
@@ -310,13 +444,33 @@ int main(int argc, char** argv) {
   for (const RunResult& r : results) print_result(r);
 
   auto csv = bench::open_csv(
-      "cluster_scale", {"name", "jobs", "flows", "sim_s", "events", "wall_s",
-                        "events_per_sec", "peak_rss_mb", "background"});
+      "cluster_scale",
+      {"name", "jobs", "flows", "shards", "workers", "sim_s", "events",
+       "wall_s", "events_per_sec", "peak_rss_mb", "rss_delta_mb", "null_msgs",
+       "stalls", "digest", "background"});
+  char digest_hex[17];
   for (const RunResult& r : results) {
+    std::snprintf(digest_hex, sizeof digest_hex, "%016" PRIx64, r.digest);
     csv->row({r.name, std::to_string(r.jobs), std::to_string(r.flows),
+              std::to_string(r.shards), std::to_string(r.workers),
               std::to_string(r.sim_s), std::to_string(r.events),
               std::to_string(r.wall_s), std::to_string(r.events_per_sec),
-              std::to_string(r.rss_mb), r.background});
+              std::to_string(r.rss_mb), std::to_string(r.rss_delta_mb),
+              std::to_string(r.null_msgs), std::to_string(r.stalls),
+              digest_hex, r.background});
+  }
+
+  // Simulation-deterministic companion CSV: only fields that are a pure
+  // function of the model (no wall time, no RSS, and no event count — lane
+  // timers repartition replay events across shards). The shard-speedup gate
+  // byte-diffs this file across shard counts.
+  auto sim_csv = bench::open_csv(
+      "cluster_scale_sim",
+      {"name", "jobs", "flows", "sim_s", "background", "digest"});
+  for (const RunResult& r : results) {
+    std::snprintf(digest_hex, sizeof digest_hex, "%016" PRIx64, r.digest);
+    sim_csv->row({r.name, std::to_string(r.jobs), std::to_string(r.flows),
+                  std::to_string(r.sim_s), r.background, digest_hex});
   }
   return 0;
 }

@@ -23,14 +23,21 @@
 // aspirational.
 //
 // Modes:
-//   flowsim_scale          full campaign (enforces the 100x floor)
-//   flowsim_scale --quick  CI smoke variant (~1/10 the transfers, no floor)
+//   flowsim_scale            full campaign (enforces the 100x floor)
+//   flowsim_scale --quick    CI smoke variant (~1/10 transfers, no floor)
+//   flowsim_scale --shards=N accepted for CLI parity with cluster_scale
+//                            (MLTCP_SHARDS is the env twin) and recorded in
+//                            the RESULT lines / CSV, but the run itself
+//                            stays serial: the flow-level backend is a
+//                            centralized max-min allocator whose every
+//                            rate refresh reads global fabric state — there
+//                            is no link-propagation cut to shard along.
 
-#include <sys/resource.h>
-
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -41,6 +48,7 @@
 #include "core/mltcp.hpp"
 #include "flowsim/flow_simulator.hpp"
 #include "net/topology.hpp"
+#include "pdes/partition.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/reno.hpp"
 #include "traffic/pattern.hpp"
@@ -56,22 +64,18 @@ using namespace mltcp;
 constexpr std::int64_t kPacketCeiling = 4096;
 constexpr std::int64_t kTransferFloor = 100 * kPacketCeiling;  // 409,600.
 
-double peak_rss_mb() {
-  struct rusage ru {};
-  getrusage(RUSAGE_SELF, &ru);
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;
-}
-
 struct RunResult {
   std::string name;
   std::int64_t transfers = 0;  ///< Messages posted.
   std::int64_t completed = 0;
+  int shards = 1;  ///< Requested via --shards/MLTCP_SHARDS; run stays serial.
   double sim_s = 0.0;
   std::uint64_t events = 0;
   double wall_s = 0.0;
   std::int64_t recomputes = 0;
   double p99_fct_s = 0.0;  ///< 0 when the scenario has no FCT records.
-  double rss_mb = 0.0;
+  double rss_mb = 0.0;        ///< Process high-water mark at record time.
+  double rss_delta_mb = 0.0;  ///< High-water growth across this run.
 };
 
 void print_result(const RunResult& r) {
@@ -80,11 +84,12 @@ void print_result(const RunResult& r) {
   const double eps =
       r.wall_s > 0.0 ? static_cast<double>(r.events) / r.wall_s : 0.0;
   std::printf("RESULT name=%s transfers=%" PRId64 " completed=%" PRId64
-              " sim_s=%.3f events=%" PRIu64 " wall_s=%.4f "
+              " shards=%d sim_s=%.3f events=%" PRIu64 " wall_s=%.4f "
               "transfers_per_sec=%.1f events_per_sec=%.1f recomputes=%" PRId64
-              " p99_fct_s=%.5f peak_rss_mb=%.1f\n",
-              r.name.c_str(), r.transfers, r.completed, r.sim_s, r.events,
-              r.wall_s, tps, eps, r.recomputes, r.p99_fct_s, r.rss_mb);
+              " p99_fct_s=%.5f peak_rss_mb=%.1f rss_delta_mb=%.1f\n",
+              r.name.c_str(), r.transfers, r.completed, r.shards, r.sim_s,
+              r.events, r.wall_s, tps, eps, r.recomputes, r.p99_fct_s,
+              r.rss_mb, r.rss_delta_mb);
   std::fflush(stdout);
 }
 
@@ -109,7 +114,8 @@ std::vector<net::Host*> all_hosts(const net::LeafSpine& ls) {
 
 /// Poisson/Pareto matrix over the whole fabric. Full mode: 60 s of arrivals
 /// at 8000 flows/s = 480,000 transfers (117x the packet ceiling).
-RunResult run_poisson(bool quick) {
+RunResult run_poisson(bool quick, int shards) {
+  bench::RssProbe rss = bench::RssProbe::begin();
   sim::Simulator sim;
   net::LeafSpine ls = make_fabric(sim);
   flowsim::FlowSimulator fs(sim, *ls.topology);
@@ -136,10 +142,12 @@ RunResult run_poisson(bool quick) {
   sim.run_until(horizon);
   const auto t1 = std::chrono::steady_clock::now();
 
+  rss.end();
   RunResult r;
   r.name = "poisson";
   r.transfers = fs.stats().messages_posted;
   r.completed = fs.stats().messages_completed;
+  r.shards = shards;
   r.sim_s = sim::to_seconds(horizon);
   r.events = sim.events_executed();
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
@@ -147,14 +155,16 @@ RunResult run_poisson(bool quick) {
   r.p99_fct_s =
       analysis::fct_stats(source.completed_fcts_seconds(), source.open())
           .p99_s;
-  r.rss_mb = peak_rss_mb();
+  r.rss_mb = rss.after_mb;
+  r.rss_delta_mb = rss.delta_mb();
   return r;
 }
 
 /// MLTCP training jobs on the fabric: 256 jobs x 4 flows, enough iterations
 /// that the weighted-allocation path carries >= 100k messages in the full
 /// run. Placement mirrors cluster_scale (rack r -> rack r+1 round-robin).
-RunResult run_training(bool quick) {
+RunResult run_training(bool quick, int shards) {
+  bench::RssProbe rss = bench::RssProbe::begin();
   sim::Simulator sim;
   net::LeafSpine ls = make_fabric(sim);
   flowsim::FlowSimulator fs(sim, *ls.topology);
@@ -191,15 +201,18 @@ RunResult run_training(bool quick) {
   sim.run_until(horizon);
   const auto t1 = std::chrono::steady_clock::now();
 
+  rss.end();
   RunResult r;
   r.name = "training";
   r.transfers = fs.stats().messages_posted;
   r.completed = fs.stats().messages_completed;
+  r.shards = shards;
   r.sim_s = sim::to_seconds(horizon);
   r.events = sim.events_executed();
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   r.recomputes = fs.stats().recomputes;
-  r.rss_mb = peak_rss_mb();
+  r.rss_mb = rss.after_mb;
+  r.rss_delta_mb = rss.delta_mb();
   return r;
 }
 
@@ -207,28 +220,40 @@ RunResult run_training(bool quick) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  int shards = pdes::shards_from_env();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = std::max(1, std::atoi(argv[i] + 9));
+    }
   }
   bench::print_header(quick ? "flowsim scale (quick)" : "flowsim scale");
   std::printf("packet-path ceiling (cluster_scale): %" PRId64
               " flows; full-mode floor: %" PRId64 " transfers (100x)\n",
               kPacketCeiling, kTransferFloor);
+  if (shards > 1) {
+    std::printf("note: %d shards requested, but the flow-level backend is a "
+                "centralized max-min allocator (every rate refresh reads "
+                "global fabric state) — runs stay serial; the flag is "
+                "recorded for cross-campaign parity only\n",
+                shards);
+  }
 
   std::vector<RunResult> results;
-  results.push_back(run_poisson(quick));
-  results.push_back(run_training(quick));
+  results.push_back(run_poisson(quick, shards));
+  results.push_back(run_training(quick, shards));
   for (const RunResult& r : results) print_result(r);
 
   auto csv = bench::open_csv(
       "flowsim_scale",
-      {"name", "transfers", "completed", "sim_s", "events", "wall_s",
-       "recomputes", "p99_fct_s", "peak_rss_mb"});
+      {"name", "transfers", "completed", "shards", "sim_s", "events",
+       "wall_s", "recomputes", "p99_fct_s", "peak_rss_mb", "rss_delta_mb"});
   for (const RunResult& r : results) {
     csv->row({r.name, std::to_string(r.transfers), std::to_string(r.completed),
-              std::to_string(r.sim_s), std::to_string(r.events),
-              std::to_string(r.wall_s), std::to_string(r.recomputes),
-              std::to_string(r.p99_fct_s), std::to_string(r.rss_mb)});
+              std::to_string(r.shards), std::to_string(r.sim_s),
+              std::to_string(r.events), std::to_string(r.wall_s),
+              std::to_string(r.recomputes), std::to_string(r.p99_fct_s),
+              std::to_string(r.rss_mb), std::to_string(r.rss_delta_mb)});
   }
 
   if (!quick) {

@@ -18,6 +18,12 @@
 #     traffic matrix (see cluster_scale --background); the pattern is
 #     recorded per run, and the regression gate only compares runs whose
 #     background matches, so mixed-traffic numbers never gate clean ones.
+#   SHARDS=4 ...                                    # sharded PDES execution
+#     (cluster_scale --shards; leaf-spine scenarios only). The shard count
+#     is part of the gate key, so sharded and serial recordings never gate
+#     each other.
+#   JOBS=2048 ...                                   # add an extra leaf-spine
+#     sweep point with this many jobs (cluster_scale --jobs).
 #   CHECK_AGAINST=baseline TOLERANCE=0.10 ...       # after recording, exit 1
 #     if any run present in both sections regressed events/sec by more than
 #     TOLERANCE. Note: the recorded section was measured on the machine that
@@ -33,6 +39,8 @@ SECTION="${SECTION:-current}"
 QUICK="${QUICK:-0}"
 REPEAT="${REPEAT:-1}"
 BACKGROUND="${BACKGROUND:-none}"
+SHARDS="${SHARDS:-1}"
+JOBS="${JOBS:-0}"
 CHECK_AGAINST="${CHECK_AGAINST:-}"
 TOLERANCE="${TOLERANCE:-0.10}"
 
@@ -41,6 +49,8 @@ ARGS=()
 if [ "$QUICK" = "1" ]; then ARGS+=(--quick); fi
 if [ "$REPEAT" != "1" ]; then ARGS+=(--repeat="$REPEAT"); fi
 if [ "$BACKGROUND" != "none" ]; then ARGS+=(--background="$BACKGROUND"); fi
+if [ "$SHARDS" != "1" ]; then ARGS+=(--shards="$SHARDS"); fi
+if [ "$JOBS" != "0" ]; then ARGS+=(--jobs="$JOBS"); fi
 
 MLTCP_RESULTS_DIR="${MLTCP_RESULTS_DIR:-$ROOT/results}" \
   "$BUILD/bench/cluster_scale" "${ARGS[@]+"${ARGS[@]}"}" | tee "$RAW"
@@ -61,11 +71,21 @@ with open(raw_path) as f:
             "name": kv["name"],
             "jobs": int(kv["jobs"]),
             "flows": int(kv["flows"]),
+            # Sharded-PDES fields postdate older recordings: missing means a
+            # serial run (1 shard / 1 worker, no cross-shard traffic).
+            "shards": int(kv.get("shards", "1")),
+            "workers": int(kv.get("workers", "1")),
             "sim_s": float(kv["sim_s"]),
             "events": int(kv["events"]),
             "wall_s": float(kv["wall_s"]),
             "events_per_sec": round(float(kv["events_per_sec"]), 1),
             "peak_rss_mb": float(kv["peak_rss_mb"]),
+            "rss_delta_mb": float(kv.get("rss_delta_mb", "0")),
+            "null_msgs": int(kv.get("null_msgs", "0")),
+            "stalls": int(kv.get("stalls", "0")),
+            # Full-state FNV-1a digest: byte-identical across shard counts
+            # by the PDES determinism guarantee (tests/test_pdes.cpp).
+            "digest": kv.get("digest", ""),
             # Older recordings predate the --background flag: they are clean
             # runs, so the gate treats a missing field as "none".
             "background": kv.get("background", "none"),
@@ -89,11 +109,12 @@ with open(out_path, "w") as f:
 print(f"wrote section '{section}' to {out_path}")
 
 if check_against:
-    base = {(r["name"], r["jobs"], r.get("background", "none")): r
+    base = {(r["name"], r["jobs"], r.get("shards", 1),
+             r.get("background", "none")): r
             for r in doc.get(check_against, {}).get("runs", [])}
     failures = []
     for r in runs:
-        b = base.get((r["name"], r["jobs"], r["background"]))
+        b = base.get((r["name"], r["jobs"], r["shards"], r["background"]))
         if b is None:
             continue
         floor = b["events_per_sec"] * (1.0 - tolerance)

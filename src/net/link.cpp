@@ -19,6 +19,7 @@ Link::Link(sim::Simulator& simulator, std::string name, double rate_bps,
       queue_(std::move(queue)),
       dst_(destination),
       track_(telemetry::track_link(simulator.allocate_trace_ordinal())),
+      rank_(simulator.allocate_link_rank()),
       tx_timer_(simulator, [this] { on_transmission_done(); }) {
   assert(rate_bps_ > 0.0);
   assert(queue_ != nullptr);
@@ -63,16 +64,25 @@ void Link::start_transmission(const Packet& pkt) {
 void Link::on_transmission_done() {
   bytes_tx_ += tx_pkt_.size_bytes;
   ++packets_tx_;
-  // Hand off to propagation; delivery happens prop_delay_ later. Each packet
-  // in flight is its own event, so the closure carries the packet by value —
-  // it must stay within the inline-callback budget or every hop would
-  // heap-allocate (the engine's dominant cost before this design). Captures
-  // initialize straight from the members so the packet is copied once into
-  // the closure and once into slot storage, nothing more.
-  auto deliver = [dst = dst_, pkt = tx_pkt_] { dst->receive(pkt); };
-  static_assert(sizeof(deliver) <= sim::kInlineCallbackCapacity,
-                "propagation closure outgrew the inline-callback budget");
-  sim_.schedule(prop_delay_, std::move(deliver));
+  // Hand off to propagation; delivery happens prop_delay_ later, at the
+  // link's canonical tiebreak key (same key either way, so the sharded
+  // import merge and the serial queue share one total order). On a cut link
+  // (sharded run) the delivery crosses to the destination's shard through
+  // the installed sink; otherwise each packet in flight is its own local
+  // event, so the closure carries the packet by value — it must stay within
+  // the inline-callback budget or every hop would heap-allocate (the
+  // engine's dominant cost before this design). Captures initialize straight
+  // from the members so the packet is copied once into the closure and once
+  // into slot storage, nothing more.
+  const std::uint64_t key = next_delivery_key();
+  if (delivery_sink_ != nullptr) {
+    delivery_sink_->deliver(sim_.now() + prop_delay_, key, dst_, tx_pkt_);
+  } else {
+    auto deliver = [dst = dst_, pkt = tx_pkt_] { dst->receive(pkt); };
+    static_assert(sizeof(deliver) <= sim::kInlineCallbackCapacity,
+                  "propagation closure outgrew the inline-callback budget");
+    sim_.schedule_keyed(prop_delay_, key, std::move(deliver));
+  }
 
   auto next = queue_->dequeue(sim_.now());
   if (next.has_value()) {

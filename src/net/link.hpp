@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -12,6 +13,24 @@
 namespace mltcp::net {
 
 class Node;
+
+/// Cross-shard egress seam for sharded (PDES) execution: when a link's
+/// destination lives in a different shard than its source, the coordinator
+/// installs a sink and the link hands finished transmissions to it instead
+/// of scheduling the propagation-delivery event locally. `when` is the
+/// delivery timestamp (serialization end + propagation delay), which is
+/// strictly increasing per link because serialization time is positive —
+/// the monotonicity the conservative synchronization protocol relies on.
+/// `key` is the link's canonical delivery key for this packet — the same
+/// value the serial engine would use as the event's tiebreak, so the
+/// consumer shard can merge imports against its local queue in exactly the
+/// serial total order.
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+  virtual void deliver(sim::SimTime when, std::uint64_t key, Node* dst,
+                       const Packet& pkt) = 0;
+};
 
 /// Unidirectional point-to-point link: a serializing transmitter feeding a
 /// propagation delay, with a queue discipline buffering while the
@@ -86,10 +105,27 @@ class Link {
   /// Telemetry track id (track_link namespace) shared with the queue.
   std::uint64_t trace_track() const { return track_; }
 
+  /// Routes finished transmissions to `sink` (cross-shard delivery) instead
+  /// of the local event queue; null restores local delivery. Installed by
+  /// the PDES coordinator on cut links only.
+  void set_delivery_sink(DeliverySink* sink) { delivery_sink_ = sink; }
+  DeliverySink* delivery_sink() const { return delivery_sink_; }
+
  private:
   void start_transmission(const Packet& pkt);
   void on_transmission_done();
   double next_fault_uniform();
+
+  /// Canonical tiebreak key of the next delivery: (link rank + 1) << 40 |
+  /// per-link FIFO ordinal. Below EventQueue::kOrdinalBand, so at equal
+  /// timestamps deliveries run before ordinary events, ordered among
+  /// themselves by link construction order then wire order — a total order
+  /// that depends only on the model, never on scheduling history, which is
+  /// what lets sharded runs reproduce serial output bit-for-bit (the
+  /// serial FIFO ordinal is partition-dependent; this key is not).
+  std::uint64_t next_delivery_key() {
+    return (static_cast<std::uint64_t>(rank_) + 1) << 40 | delivery_seq_++;
+  }
 
   sim::Simulator& sim_;
   std::string name_;
@@ -98,6 +134,9 @@ class Link {
   std::unique_ptr<QueueDiscipline> queue_;
   Node* dst_;
   std::uint64_t track_;
+  std::uint32_t rank_;             ///< Dense construction ordinal.
+  std::uint64_t delivery_seq_ = 0;
+  DeliverySink* delivery_sink_ = nullptr;
 
   /// Serialization-done deadline for the packet in `tx_pkt_`; rearmed in
   /// place for every transmission instead of scheduling a fresh closure.

@@ -81,6 +81,14 @@ class Topology {
   const std::vector<Switch*>& switches() const { return switches_; }
   const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
 
+  /// Outgoing (neighbour, link) pairs per node, indexed by the dense NodeId,
+  /// in connect() order. This is how consumers recover a directed link's
+  /// *source* node (links only store their destination): the PDES
+  /// partitioner walks it to classify every link as shard-internal or cut.
+  const std::vector<std::vector<std::pair<NodeId, Link*>>>& adjacency() const {
+    return adjacency_;
+  }
+
   Node* node(NodeId id) const;
 
   sim::Simulator& simulator() { return sim_; }

@@ -51,7 +51,13 @@ void ScenarioEngine::install(const Scenario& scenario) {
   std::stable_sort(events_.begin(), events_.end(),
                    [](const Event& a, const Event& b) { return a.at < b.at; });
   next_ = 0;
-  timer_.arm_at(events_.front().at);
+  // Manual replay (sharded runs): the coordinator pulls events through
+  // next_event_time()/apply_through() at global barriers; no timer. The
+  // serial timer arms at the barrier key so an event applies before
+  // everything else at its instant — exactly what the barriers enforce.
+  if (!manual_) {
+    timer_.arm_at_keyed(events_.front().at, sim::EventQueue::kBarrierKey);
+  }
 }
 
 void ScenarioEngine::on_timer() {
@@ -59,7 +65,9 @@ void ScenarioEngine::on_timer() {
     apply(events_[next_]);
     ++next_;
   }
-  if (next_ < events_.size()) timer_.arm_at(events_[next_].at);
+  if (next_ < events_.size()) {
+    timer_.arm_at_keyed(events_[next_].at, sim::EventQueue::kBarrierKey);
+  }
 }
 
 void ScenarioEngine::apply(const Event& e) {
@@ -131,6 +139,15 @@ void ScenarioEngine::apply(const Event& e) {
     bool operator()(const BackgroundBurst& a) {
       workload::Channel* flow = eng.background_flow(a.src_host, a.dst_host);
       if (flow == nullptr) return false;
+      // Sharded runs: the send's events (pacing, serialization) belong to
+      // the source host's shard; applies run at a global barrier, so
+      // binding here is race-free.
+      const auto& hosts = eng.topo_.hosts();
+      sim::Simulator::ShardGuard guard(
+          eng.sim_,
+          eng.shard_mapper_
+              ? eng.shard_mapper_(hosts[static_cast<std::size_t>(a.src_host)])
+              : 0);
       flow->send_message(a.bytes, [](sim::SimTime) {});
       return true;
     }
@@ -142,6 +159,15 @@ void ScenarioEngine::apply(const Event& e) {
           eng.sim_, eng.cluster_, eng.topo_.hosts(),
           traffic::SourceOptions{
               [] { return std::make_unique<tcp::RenoCC>(); }, {}, {}});
+      // Sharded runs: split the replay into per-shard lanes so each
+      // arrival's events start in the shard owning its source host.
+      if (eng.shard_mapper_) {
+        source->set_lane_map(
+            [mapper = eng.shard_mapper_](const net::Host* h) {
+              return mapper(h);
+            },
+            eng.shards_);
+      }
       source->install(a.config);
       eng.traffic_.push_back(std::move(source));
       eng.traffic_labels_.push_back(a.label);

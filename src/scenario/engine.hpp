@@ -27,10 +27,21 @@ class EngineContext {
   net::Topology& topology() { return topo_; }
   workload::Cluster& cluster() { return cluster_; }
 
+  /// Shard owning `node` (0 in serial runs). Arrival callbacks that start
+  /// jobs under sharded execution wrap the start in
+  /// sim::Simulator::ShardGuard(simulator(), shard_of(sender_host)) so the
+  /// job's events land in the shard that owns its senders.
+  int shard_of(const net::Node* node) const {
+    return shard_mapper_ ? shard_mapper_(node) : 0;
+  }
+
  private:
+  friend class ScenarioEngine;
+
   sim::Simulator& sim_;
   net::Topology& topo_;
   workload::Cluster& cluster_;
+  std::function<int(const net::Node*)> shard_mapper_;  ///< Null when serial.
 };
 
 /// Replays a Scenario against one simulation run. One engine per run; the
@@ -53,6 +64,42 @@ class ScenarioEngine {
   /// Installs the scenario and schedules its replay. Call once, before (or
   /// during) the run; events whose time is already past fire immediately.
   void install(const Scenario& scenario);
+
+  // -- Manual replay (sharded execution) -----------------------------------
+
+  /// Switches the engine to externally-driven replay: install() stops
+  /// arming the timer and a coordinator (pdes::ShardedRunner) pulls events
+  /// through next_event_time()/apply_through() at global barriers instead.
+  /// Call before install().
+  void set_manual_replay(bool manual) { manual_ = manual; }
+
+  /// Time of the next unapplied event; kTimeInfinity when drained.
+  /// Manual-replay use.
+  sim::SimTime next_event_time() const {
+    return next_ < events_.size() ? events_[next_].at : sim::kTimeInfinity;
+  }
+
+  /// Applies every unapplied event with `at <= when`, in (time, insertion)
+  /// order. Manual-replay use: the caller guarantees the simulation is at a
+  /// global barrier at `when`.
+  void apply_through(sim::SimTime when) {
+    while (next_ < events_.size() && events_[next_].at <= when) {
+      apply(events_[next_]);
+      ++next_;
+    }
+  }
+
+  /// Sharded runs: maps a node to the shard that owns it, so actions that
+  /// initiate traffic (BackgroundBurst sends, TrafficBurst sources,
+  /// JobArrival spawns via EngineContext) place their events in the right
+  /// shard's queue. `shards` is the shard count, handed to per-lane traffic
+  /// sources. Unset = serial behaviour.
+  void set_shard_mapper(std::function<int(const net::Node*)> mapper,
+                        int shards) {
+    shard_mapper_ = std::move(mapper);
+    ctx_.shard_mapper_ = shard_mapper_;
+    shards_ = shards;
+  }
 
   /// Events applied so far.
   int applied_events() const { return applied_; }
@@ -87,6 +134,9 @@ class ScenarioEngine {
   std::vector<Event> events_;  ///< Sorted by (at, insertion order).
   std::size_t next_ = 0;
   sim::Timer timer_;
+  bool manual_ = false;  ///< Replay driven externally (sharded runs).
+  std::function<int(const net::Node*)> shard_mapper_;  ///< Null when serial.
+  int shards_ = 1;
   /// Legacy background channels, keyed by (src, dst) host index so repeated
   /// bursts between a pair share one connection.
   std::map<std::pair<int, int>, workload::Channel*> bg_flows_;

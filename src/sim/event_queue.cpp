@@ -28,7 +28,15 @@ void EventQueue::release_slot(std::uint32_t slot) { free_.push_back(slot); }
 
 void EventQueue::push_entry(SimTime when, std::uint32_t slot,
                             std::uint32_t gen) {
-  heap_.push_back(HeapEntry{when, seq_++, slot, gen});
+  heap_.push_back(HeapEntry{when, kOrdinalBand | seq_++, slot, gen});
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::push_entry_keyed(SimTime when, std::uint64_t key,
+                                  std::uint32_t slot, std::uint32_t gen) {
+  assert(key < kOrdinalBand && "canonical keys live below the ordinal band");
+  ++seq_;  // Keeps total_scheduled() an exact push count.
+  heap_.push_back(HeapEntry{when, key, slot, gen});
   sift_up(heap_.size() - 1);
 }
 
@@ -168,6 +176,38 @@ SimTime EventQueue::next_time() const {
   return heap_[0].when;
 }
 
+std::uint64_t EventQueue::next_key() const {
+  assert(live_ != 0 && "peek on empty queue");
+  drop_dead_front();
+  return heap_[0].seq;
+}
+
+bool EventQueue::pop_and_run_before_key(SimTime when_limit,
+                                        std::uint64_t key_limit,
+                                        SimTime* clock) {
+  drop_dead_front();
+  assert(!heap_.empty() && "pop on empty queue");
+  const SimTime when = heap_[0].when;
+  if (when > when_limit || (when == when_limit && heap_[0].seq >= key_limit)) {
+    return false;
+  }
+  *clock = when;
+  const std::uint32_t slot = heap_[0].slot;
+  SlotPayload& p = payload(slot);
+  __builtin_prefetch(&p);
+  pop_front();
+  ++gens_[slot];  // consumed: odd -> even (no stale entry; it just popped)
+  --live_;
+  if (p.timer == nullptr) {
+    p.fn();
+    p.fn.reset();
+    release_slot(slot);
+  } else {
+    p.timer->fn_();
+  }
+  return true;
+}
+
 bool EventQueue::pop_and_run_before(SimTime deadline, SimTime* clock) {
   drop_dead_front();
   assert(!heap_.empty() && "pop on empty queue");
@@ -245,6 +285,19 @@ void EventQueue::timer_arm(std::uint32_t slot, SimTime when) {
   push_entry(when, slot, gens_[slot]);
 }
 
+void EventQueue::timer_arm_keyed(std::uint32_t slot, SimTime when,
+                                 std::uint64_t key) {
+  if ((gens_[slot] & 1) != 0) {
+    gens_[slot] += 2;
+    ++stale_;
+    maybe_compact();
+  } else {
+    ++gens_[slot];  // even -> odd: armed
+    ++live_;
+  }
+  push_entry_keyed(when, key, slot, gens_[slot]);
+}
+
 void EventQueue::timer_cancel(std::uint32_t slot) {
   if ((gens_[slot] & 1) == 0) return;
   ++gens_[slot];  // odd -> even: disarmed
@@ -272,6 +325,12 @@ void QueueTimer::arm(SimTime when) {
   assert(queue_ != nullptr && "arming an unbound timer");
   deadline_ = when;
   queue_->timer_arm(slot_, when);
+}
+
+void QueueTimer::arm_keyed(SimTime when, std::uint64_t key) {
+  assert(queue_ != nullptr && "arming an unbound timer");
+  deadline_ = when;
+  queue_->timer_arm_keyed(slot_, when, key);
 }
 
 void QueueTimer::cancel() {

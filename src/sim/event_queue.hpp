@@ -21,7 +21,15 @@ inline constexpr EventId kInvalidEventId = 0;
 class QueueTimer;
 
 /// Min-heap of timestamped callbacks. Events at equal timestamps fire in
-/// scheduling order (FIFO), which keeps runs deterministic.
+/// ascending order of a 64-bit tiebreak key. Ordinary events get
+/// `kOrdinalBand | push-ordinal` — scheduling order (FIFO), which keeps
+/// serial runs deterministic. Callers that need a tie order independent of
+/// scheduling history (the requirement for sharded PDES runs to reproduce
+/// serial output bit-for-bit: scheduling order is partition-dependent, see
+/// src/pdes) pass an explicit canonical key below kOrdinalBand via
+/// schedule_keyed()/QueueTimer::arm_keyed — link deliveries encode
+/// (link rank, per-link FIFO ordinal), and scenario barriers take key 0 so
+/// they apply before everything else at their instant.
 ///
 /// Engineered for the packet hot path (three trips per simulated packet):
 ///  - callbacks are EventCallback (inline small-buffer storage), so the
@@ -42,6 +50,15 @@ class QueueTimer;
 ///    memory under cancel/reschedule-heavy workloads (RTO rearm storms).
 class EventQueue {
  public:
+  /// High bit of the tiebreak key: set on ordinary (push-ordinal) events,
+  /// clear on canonical keys, so every canonical key sorts before every
+  /// ordinary event at the same timestamp.
+  static constexpr std::uint64_t kOrdinalBand = 1ull << 63;
+  /// Canonical key of a scenario barrier event: applies before anything
+  /// else — deliveries included — at its instant (the serial twin of the
+  /// sharded runner's global-barrier semantics).
+  static constexpr std::uint64_t kBarrierKey = 0;
+
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
@@ -64,6 +81,19 @@ class EventQueue {
     return make_id(slot, gen);
   }
 
+  /// Schedules `fn` at `when` with an explicit canonical tiebreak key
+  /// (must be below kOrdinalBand). Used for events whose same-timestamp
+  /// order must not depend on scheduling history — see the class comment.
+  template <typename F>
+  EventId schedule_keyed(SimTime when, std::uint64_t key, F&& fn) {
+    const std::uint32_t slot = acquire_slot();
+    payload(slot).fn.emplace(std::forward<F>(fn));
+    const std::uint32_t gen = ++gens_[slot];  // even -> odd: armed
+    ++live_;
+    push_entry_keyed(when, key, slot, gen);
+    return make_id(slot, gen);
+  }
+
   /// Cancels a pending event. Cancelling an already-fired or unknown id is a
   /// harmless no-op. Returns true if the event was pending.
   bool cancel(EventId id);
@@ -77,6 +107,9 @@ class EventQueue {
   /// Timestamp of the next live event; kTimeInfinity when empty.
   SimTime next_time() const;
 
+  /// Tiebreak key of the next live event. Precondition: !empty().
+  std::uint64_t next_key() const;
+
   /// Pops and runs the next live event, returning its timestamp.
   /// Precondition: !empty().
   SimTime pop_and_run();
@@ -89,6 +122,14 @@ class EventQueue {
   /// the two a separate next_time()/pop_and_run() pair costs.
   /// Precondition: !empty().
   bool pop_and_run_before(SimTime deadline, SimTime* clock);
+
+  /// Like pop_and_run_before, but against the lexicographic (time, key)
+  /// bound: runs the front event iff (when, key) < (when_limit, key_limit).
+  /// The sharded runner's local-burst primitive — it drains exactly the
+  /// events that canonically precede the next cross-shard import.
+  /// Precondition: !empty().
+  bool pop_and_run_before_key(SimTime when_limit, std::uint64_t key_limit,
+                              SimTime* clock);
 
   std::uint64_t total_scheduled() const { return seq_; }
 
@@ -106,9 +147,11 @@ class EventQueue {
   /// Deepest possible 4-ary heap path: ceil(log4(2^64)) + 1 levels.
   static constexpr int kMaxHeapDepth = 33;
 
-  /// One heap element: 24 bytes, four per 64-byte span. `seq` is the global
-  /// push ordinal providing the FIFO tiebreak at equal timestamps; `gen`
-  /// must match the slot's current generation for the entry to be live.
+  /// One heap element: 24 bytes, four per 64-byte span. `seq` is the
+  /// tiebreak key at equal timestamps — `kOrdinalBand | push ordinal` for
+  /// ordinary events (FIFO), a canonical key below the band otherwise;
+  /// `gen` must match the slot's current generation for the entry to be
+  /// live.
   struct HeapEntry {
     SimTime when;
     std::uint64_t seq;
@@ -163,6 +206,8 @@ class EventQueue {
   void release_slot(std::uint32_t slot);
 
   void push_entry(SimTime when, std::uint32_t slot, std::uint32_t gen);
+  void push_entry_keyed(SimTime when, std::uint64_t key, std::uint32_t slot,
+                        std::uint32_t gen);
   void sift_up(std::size_t i);
   /// Index of the smallest of the up-to-four children starting at
   /// `first_child` (heap size `n`).
@@ -178,6 +223,7 @@ class EventQueue {
   std::uint32_t timer_bind(QueueTimer* t);
   void timer_release(std::uint32_t slot);
   void timer_arm(std::uint32_t slot, SimTime when);
+  void timer_arm_keyed(std::uint32_t slot, SimTime when, std::uint64_t key);
   void timer_cancel(std::uint32_t slot);
   bool timer_pending(std::uint32_t slot) const {
     return (gens_[slot] & 1) != 0;
@@ -230,6 +276,9 @@ class QueueTimer {
   /// (Re)arms the timer to fire at absolute time `when`, replacing any
   /// pending deadline: the timer fires once, at the latest deadline set.
   void arm(SimTime when);
+  /// Same, with an explicit canonical tiebreak key (see
+  /// EventQueue::schedule_keyed).
+  void arm_keyed(SimTime when, std::uint64_t key);
   /// Cancels the pending deadline, if any. The binding survives.
   void cancel();
   bool pending() const {
@@ -237,6 +286,9 @@ class QueueTimer {
   }
   /// Deadline of the pending fire; meaningless unless pending().
   SimTime deadline() const { return deadline_; }
+  /// The queue this timer is bound to (null when unbound). Lets sim::Timer
+  /// assert that a lazily attached timer is only rearmed from its own shard.
+  EventQueue* queue() const { return queue_; }
 
  private:
   friend class EventQueue;

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -66,24 +69,60 @@ class TrafficSource {
   /// Convenience: generate_arrivals(cfg, hosts.size()) + install.
   void install(const TrafficConfig& cfg);
 
+  /// Sharded runs: splits the replay into per-shard "lanes" — each lane
+  /// owns the arrivals whose source host maps to its shard and replays them
+  /// off its own timer, armed in that shard's context, so an arrival's
+  /// events start in the shard that owns its source host. Lane index ==
+  /// shard index by contract. Call before install().
+  ///
+  /// Lane mode keeps the serial replay's observable sequence: channels are
+  /// pre-created at install() in serial first-use order (identical flow-id
+  /// assignment), records are written by arrival index into a pre-sized
+  /// vector (slots are disjoint across lanes), and records() compacts to
+  /// posted-only in arrival order — exactly what a serial replay pushes.
+  void set_lane_map(std::function<int(const net::Host*)> lane_of, int lanes) {
+    assert(arrivals_.empty() && "set_lane_map() must precede install()");
+    assert(lanes >= 1);
+    lane_of_ = std::move(lane_of);
+    lanes_ = lanes;
+  }
+
   /// Per-arrival records, in arrival order. Stable once posted: completion
-  /// fills in `completed` in place.
-  const std::vector<FctRecord>& records() const { return records_; }
+  /// fills in `completed` in place. Lane mode: read after the run has
+  /// drained the arrival list (the first fully-drained call compacts).
+  const std::vector<FctRecord>& records() const;
 
   /// Completion times (seconds) of every finished transfer, arrival order.
   std::vector<double> completed_fcts_seconds() const;
 
-  std::size_t posted() const { return posted_; }
-  std::size_t completed() const { return completed_; }
+  std::size_t posted() const;
+  std::size_t completed() const;
   /// Transfers posted but unfinished (run ended or still draining).
-  std::size_t open() const { return posted_ - completed_; }
+  std::size_t open() const { return posted() - completed(); }
 
-  std::int64_t bytes_posted() const { return bytes_posted_; }
-  std::int64_t bytes_completed() const { return bytes_completed_; }
+  std::int64_t bytes_posted() const;
+  std::int64_t bytes_completed() const;
 
  private:
+  /// Per-shard replay state: the lane's slice of the arrival list plus its
+  /// own counters (summed in the accessors), so concurrent lanes never
+  /// touch shared mutable state.
+  struct Lane {
+    Lane(sim::Simulator& simulator, TrafficSource* source, int index)
+        : timer(simulator, [source, index] { source->on_lane_timer(index); }) {
+    }
+    sim::Timer timer;
+    std::vector<std::size_t> order;  ///< Global arrival indices, sorted.
+    std::size_t next = 0;
+    std::size_t posted = 0;
+    std::size_t completed = 0;
+    std::int64_t bytes_posted = 0;
+    std::int64_t bytes_completed = 0;
+  };
+
   void on_timer();
-  void post(std::size_t index);
+  void on_lane_timer(int lane_index);
+  void post(std::size_t index, Lane* lane);
   workload::Channel* flow_for(std::int32_t src, std::int32_t dst);
 
   sim::Simulator& sim_;
@@ -95,10 +134,18 @@ class TrafficSource {
   std::size_t next_ = 0;
   sim::Timer timer_;
 
-  /// Backend-owned channels, reused per ordered host pair.
+  std::function<int(const net::Host*)> lane_of_;  ///< Null when serial.
+  int lanes_ = 1;
+  std::vector<std::unique_ptr<Lane>> lane_states_;  ///< Empty when serial.
+  std::vector<char> posted_flags_;  ///< Lane mode: per-arrival posted bit.
+
+  /// Backend-owned channels, reused per ordered host pair. Lane mode:
+  /// fully populated at install(), lookup-only afterwards.
   std::map<std::pair<std::int32_t, std::int32_t>, workload::Channel*> flows_;
 
-  std::vector<FctRecord> records_;
+  /// Mutable: records() lazily compacts lane-mode placeholder slots away.
+  mutable std::vector<FctRecord> records_;
+  mutable bool compacted_ = false;
   std::size_t posted_ = 0;
   std::size_t completed_ = 0;
   std::int64_t bytes_posted_ = 0;
