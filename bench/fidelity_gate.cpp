@@ -22,6 +22,12 @@
 //  - solver health: the water-filling allocator must stay event-driven —
 //    mean bottleneck-freeze rounds per recompute <= 8 and zero stalls on
 //    healthy (fault-free) slices.
+//  - mode identity: every fluid slice is re-run with
+//    FlowSimConfig::full_recompute (the reference global waterfill) and the
+//    model outputs — per-job iteration-time vectors, FCT vectors — must be
+//    BIT-identical to the incremental dirty-set path. The incremental
+//    solver is an exact-arithmetic optimization, not an approximation; any
+//    divergence is a bug, so the bound is zero mismatches, not a tolerance.
 //
 // Modes:
 //   fidelity_gate          full gate (the recorded bounds)
@@ -77,6 +83,20 @@ double rel_error(double measured, double reference) {
                           : std::abs(measured);
 }
 
+/// Bit-exact divergence count between two model-output vectors: a length
+/// mismatch counts the length delta, every element compared with == (no
+/// tolerance — the incremental solver must reproduce the reference global
+/// waterfill exactly).
+double mismatches(const std::vector<double>& a, const std::vector<double>& b) {
+  double n = std::abs(static_cast<double>(a.size()) -
+                      static_cast<double>(b.size()));
+  const std::size_t common = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) n += 1.0;
+  }
+  return n;
+}
+
 // --------------------------------------------------- training convergence
 
 /// Per-job iteration 2 flows x 4 MB = 64 ms of bottleneck time, compute
@@ -89,6 +109,7 @@ struct TrainingOutcome {
   std::vector<int> iterations;     ///< Completed per job.
   double tail_mean_s = 0.0;        ///< Converged iteration time, job mean.
   double converge_iter = 0.0;      ///< Mean iterations until interleaved.
+  std::vector<double> iter_times;  ///< All jobs' iteration times, in order.
   flowsim::FlowSimStats fs_stats;  ///< Zero-initialized on the packet run.
 };
 
@@ -104,7 +125,8 @@ double converged_after(const std::vector<double>& times) {
 
 /// `n_jobs` MLTCP training jobs on a shared dumbbell bottleneck, identical
 /// workload on either backend.
-TrainingOutcome run_training(bool fluid, int n_jobs, int iters) {
+TrainingOutcome run_training(bool fluid, int n_jobs, int iters,
+                             bool full_recompute = false) {
   sim::Simulator sim;
   net::DumbbellConfig dc;
   dc.hosts_per_side = n_jobs;
@@ -112,7 +134,9 @@ TrainingOutcome run_training(bool fluid, int n_jobs, int iters) {
   std::unique_ptr<flowsim::FlowSimulator> fs;
   workload::Cluster cluster(sim);
   if (fluid) {
-    fs = std::make_unique<flowsim::FlowSimulator>(sim, *d.topology);
+    flowsim::FlowSimConfig fc;
+    fc.full_recompute = full_recompute;
+    fs = std::make_unique<flowsim::FlowSimulator>(sim, *d.topology, fc);
     cluster.set_backend(fs.get());
   }
 
@@ -137,6 +161,7 @@ TrainingOutcome run_training(bool fluid, int n_jobs, int iters) {
   for (const workload::Job* job : jobs) {
     out.iterations.push_back(job->completed_iterations());
     const auto times = job->iteration_times_seconds();
+    out.iter_times.insert(out.iter_times.end(), times.begin(), times.end());
     tail += analysis::tail_mean(times, 5);
     converge += converged_after(times);
   }
@@ -173,6 +198,15 @@ void gate_training(int n_jobs, int iters) {
                           : 0.0,
         8.0);
   check(slice, "stalls", static_cast<double>(st.stalls), 0.0);
+
+  // Mode identity: the incremental dirty-set solver vs. the reference full
+  // waterfill, same workload. Bit-exact or bust.
+  const TrainingOutcome full = run_training(true, n_jobs, iters, true);
+  double iter_diff = mismatches(fluid.iter_times, full.iter_times);
+  for (int j = 0; j < n_jobs; ++j) {
+    if (fluid.iterations[j] != full.iterations[j]) iter_diff += 1.0;
+  }
+  check(slice, "mode_identity_mismatches", iter_diff, 0.0);
 }
 
 // ------------------------------------------------------------- FCT tails
@@ -180,13 +214,14 @@ void gate_training(int n_jobs, int iters) {
 struct FctOutcome {
   analysis::FctStats stats;
   std::size_t posted = 0;
+  std::vector<double> fcts;  ///< Completed FCTs in completion order.
   flowsim::FlowSimStats fs_stats;
 };
 
 /// Replays one fixed Poisson/Pareto arrival list over a small leaf-spine
 /// fabric. The list is a pure function of the config seed, so the packet
 /// and fluid runs see byte-identical traffic.
-FctOutcome run_fct(bool fluid, bool quick) {
+FctOutcome run_fct(bool fluid, bool quick, bool full_recompute = false) {
   sim::Simulator sim;
   net::LeafSpineConfig cfg;
   cfg.racks = 2;
@@ -198,7 +233,9 @@ FctOutcome run_fct(bool fluid, bool quick) {
   std::unique_ptr<flowsim::FlowSimulator> fs;
   workload::Cluster cluster(sim);
   if (fluid) {
-    fs = std::make_unique<flowsim::FlowSimulator>(sim, *ls.topology);
+    flowsim::FlowSimConfig fc;
+    fc.full_recompute = full_recompute;
+    fs = std::make_unique<flowsim::FlowSimulator>(sim, *ls.topology, fc);
     cluster.set_backend(fs.get());
   }
 
@@ -226,8 +263,8 @@ FctOutcome run_fct(bool fluid, bool quick) {
   sim.run_until(tc.stop + sim::seconds(2));
 
   FctOutcome out;
-  out.stats = analysis::fct_stats(source.completed_fcts_seconds(),
-                                  source.open());
+  out.fcts = source.completed_fcts_seconds();
+  out.stats = analysis::fct_stats(out.fcts, source.open());
   out.posted = source.posted();
   if (fs) out.fs_stats = fs->stats();
   return out;
@@ -258,6 +295,12 @@ void gate_fct(bool quick) {
                           : 0.0,
         8.0);
   check("fct", "stalls", static_cast<double>(st.stalls), 0.0);
+
+  // Mode identity: the completed-FCT vector (order included) must be
+  // bit-identical between the incremental and full-recompute solvers.
+  const FctOutcome full = run_fct(true, quick, true);
+  check("fct", "mode_identity_mismatches", mismatches(fluid.fcts, full.fcts),
+        0.0);
 }
 
 }  // namespace

@@ -1,41 +1,47 @@
 // Flow-level scale campaign: how far past the packet path's flow ceiling
 // the flowsim backend goes. bench/cluster_scale tops out at 256 jobs x 16
 // flows = 4096 concurrent transfers on the packet path; this campaign pushes
-// the flow-level backend through >= 100x that many transfers (>= 409,600)
-// on the same leaf-spine fabric, in wall time comparable to one
-// cluster_scale point — the quantitative case for the hybrid-fidelity
-// split (flowsim for scale, packets for fidelity, bench/fidelity_gate for
-// the bound between them).
+// the flow-level backend through a >= 1,000,000-transfer poisson point
+// (≈244x the packet ceiling) on the same leaf-spine fabric — the
+// quantitative case for the incremental dirty-set waterfill + drain-event
+// heap (PR 9) on top of the hybrid-fidelity split (flowsim for scale,
+// packets for fidelity, bench/fidelity_gate for the bound between them).
 //
-// Scenarios:
-//  - poisson: a Poisson/Pareto traffic matrix replayed through
-//    traffic::TrafficSource — hundreds of thousands of short transfers with
-//    bounded in-flight concurrency (the regime the busy-list event loop is
-//    built for).
-//  - training: MLTCP training jobs on the same fabric — the weighted
-//    max-min path (F(bytes_ratio) refresh + water-filling) under sustained
-//    collective traffic.
+// Scenarios, in execution order:
+//  - poisson-1m: the million-transfer Poisson/Pareto matrix (16,000 flows/s,
+//    --flows scales the arrival budget). Runs FIRST so its rss_delta_mb is
+//    an honest attribution: the kernel peak-RSS high-water mark never
+//    decreases, so only the first/biggest run's delta measures itself
+//    rather than the campaign's tallest predecessor.
+//  - poisson: the PR 7-era 480,000-transfer point, kept for baseline
+//    comparability (transfers/sec gate in record_flowsim_baseline.sh).
+//  - training: MLTCP training jobs — the weighted max-min path
+//    (F(bytes_ratio) refresh + water-filling) under sustained collectives.
+//  - poisson-sharded: PDES composition sanity point. The fabric is
+//    partitioned exactly as cluster_scale --shards does and the run executes
+//    under pdes::ShardedRunner; since the fluid backend posts no link
+//    deliveries, every flowsim event stays in shard 0 and the canonical
+//    (when,key) order makes the run byte-identical to serial — asserted
+//    against a serial twin (matched=1) before the RESULT line is trusted.
 //
-// Output: `RESULT key=value ...` lines (parsed by
-// bench/record_flowsim_baseline.sh into results/BENCH_flowsim.json) plus a
-// CSV. In the full run the poisson scenario must complete >= 409,600
-// transfers or the binary exits 1 — the 100x claim is enforced, not
-// aspirational.
+// Solver counters (recomputes, full_recomputes, waterfill_rounds/channels,
+// frozen_skips, dirty_links, heap_updates) are read back through the
+// telemetry MetricRegistry "flowsim/..." group (telemetry::collect_flowsim)
+// and emitted in the RESULT/CSV lines, so algorithmic regressions — e.g. a
+// silent fall-back to full recomputes — show up in CI, not just wall time.
 //
 // Modes:
-//   flowsim_scale            full campaign (enforces the 100x floor)
-//   flowsim_scale --quick    CI smoke variant (~1/10 transfers, no floor)
-//   flowsim_scale --shards=N accepted for CLI parity with cluster_scale
-//                            (MLTCP_SHARDS is the env twin) and recorded in
-//                            the RESULT lines / CSV, but the run itself
-//                            stays serial: the flow-level backend is a
-//                            centralized max-min allocator whose every
-//                            rate refresh reads global fabric state — there
-//                            is no link-propagation cut to shard along.
+//   flowsim_scale            full campaign (enforces the 1M and 100x floors)
+//   flowsim_scale --quick    CI smoke variant (~1/10 transfers, no floors;
+//                            the sharded identity check still hard-fails)
+//   flowsim_scale --flows=N  arrival budget of the poisson-1m point
+//   flowsim_scale --shards=N shard count of the poisson-sharded point
+//                            (MLTCP_SHARDS is the env twin; minimum 2)
 
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,8 +55,11 @@
 #include "flowsim/flow_simulator.hpp"
 #include "net/topology.hpp"
 #include "pdes/partition.hpp"
+#include "pdes/sharded_runner.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/reno.hpp"
+#include "telemetry/collect.hpp"
+#include "telemetry/metrics.hpp"
 #include "traffic/pattern.hpp"
 #include "traffic/source.hpp"
 #include "workload/cluster.hpp"
@@ -63,19 +72,30 @@ using namespace mltcp;
 /// (cluster_scale: 256 jobs x 16 flows).
 constexpr std::int64_t kPacketCeiling = 4096;
 constexpr std::int64_t kTransferFloor = 100 * kPacketCeiling;  // 409,600.
+/// Completion floor of the poisson-1m point (full mode, default --flows).
+constexpr std::int64_t kMillionFloor = 1'000'000;
+/// Default arrival budget of poisson-1m: 16,000 flows/s for 63 s.
+constexpr std::int64_t kDefaultFlows = 1'008'000;
 
 struct RunResult {
   std::string name;
   std::int64_t transfers = 0;  ///< Messages posted.
   std::int64_t completed = 0;
-  int shards = 1;  ///< Requested via --shards/MLTCP_SHARDS; run stays serial.
+  int shards = 1;
   double sim_s = 0.0;
   std::uint64_t events = 0;
   double wall_s = 0.0;
   std::int64_t recomputes = 0;
+  std::int64_t full_recomputes = 0;
+  std::int64_t waterfill_rounds = 0;
+  std::int64_t waterfill_channels = 0;
+  std::int64_t frozen_skips = 0;
+  std::int64_t dirty_links = 0;
+  std::int64_t heap_updates = 0;
   double p99_fct_s = 0.0;  ///< 0 when the scenario has no FCT records.
   double rss_mb = 0.0;        ///< Process high-water mark at record time.
   double rss_delta_mb = 0.0;  ///< High-water growth across this run.
+  int matched = -1;  ///< Sharded sanity: 1 = identical to serial; -1 = n/a.
 };
 
 void print_result(const RunResult& r) {
@@ -83,14 +103,47 @@ void print_result(const RunResult& r) {
       r.wall_s > 0.0 ? static_cast<double>(r.completed) / r.wall_s : 0.0;
   const double eps =
       r.wall_s > 0.0 ? static_cast<double>(r.events) / r.wall_s : 0.0;
+  // fills_per_transfer is the gated work metric: channel-rate freezes the
+  // solver performed per completed transfer. The old global waterfill paid
+  // (3 recomputes/transfer) x (all busy channels); the dirty-set recompute
+  // pays only the affected closure.
+  const double fpt = r.completed > 0
+                         ? static_cast<double>(r.waterfill_channels) /
+                               static_cast<double>(r.completed)
+                         : 0.0;
   std::printf("RESULT name=%s transfers=%" PRId64 " completed=%" PRId64
               " shards=%d sim_s=%.3f events=%" PRIu64 " wall_s=%.4f "
               "transfers_per_sec=%.1f events_per_sec=%.1f recomputes=%" PRId64
-              " p99_fct_s=%.5f peak_rss_mb=%.1f rss_delta_mb=%.1f\n",
+              " full_recomputes=%" PRId64 " waterfill_rounds=%" PRId64
+              " waterfill_channels=%" PRId64 " fills_per_transfer=%.3f"
+              " frozen_skips=%" PRId64 " dirty_links=%" PRId64
+              " heap_updates=%" PRId64
+              " p99_fct_s=%.5f peak_rss_mb=%.1f rss_delta_mb=%.1f",
               r.name.c_str(), r.transfers, r.completed, r.shards, r.sim_s,
-              r.events, r.wall_s, tps, eps, r.recomputes, r.p99_fct_s,
-              r.rss_mb, r.rss_delta_mb);
+              r.events, r.wall_s, tps, eps, r.recomputes, r.full_recomputes,
+              r.waterfill_rounds, r.waterfill_channels, fpt, r.frozen_skips,
+              r.dirty_links, r.heap_updates, r.p99_fct_s, r.rss_mb,
+              r.rss_delta_mb);
+  if (r.matched >= 0) std::printf(" matched=%d", r.matched);
+  std::printf("\n");
   std::fflush(stdout);
+}
+
+/// Reads the solver counters back out of the telemetry registry's
+/// "flowsim/..." metric group — the same consolidated path a serving
+/// deployment would scrape — rather than poking the stats struct directly.
+void fill_solver_counters(RunResult& r, const flowsim::FlowSimulator& fs) {
+  telemetry::MetricRegistry reg;
+  telemetry::collect_flowsim(reg, "flowsim", fs.stats());
+  r.recomputes = reg.counter("flowsim/recomputes").value();
+  r.full_recomputes = reg.counter("flowsim/full_recomputes").value();
+  r.waterfill_rounds = reg.counter("flowsim/waterfill_rounds").value();
+  r.waterfill_channels = reg.counter("flowsim/waterfill_channels").value();
+  r.frozen_skips = reg.counter("flowsim/frozen_skips").value();
+  r.dirty_links = reg.counter("flowsim/dirty_links").value();
+  r.heap_updates = reg.counter("flowsim/heap_updates").value();
+  r.transfers = reg.counter("flowsim/messages_posted").value();
+  r.completed = reg.counter("flowsim/messages_completed").value();
 }
 
 /// The cluster_scale leaf-spine fabric: 16 racks x 16 hosts, 4 spines.
@@ -112,15 +165,41 @@ std::vector<net::Host*> all_hosts(const net::LeafSpine& ls) {
   return hosts;
 }
 
-/// Poisson/Pareto matrix over the whole fabric. Full mode: 60 s of arrivals
-/// at 8000 flows/s = 480,000 transfers (117x the packet ceiling).
-RunResult run_poisson(bool quick, int shards) {
+struct PoissonSpec {
+  std::string name;
+  double flows_per_second = 8000.0;
+  int seconds = 60;
+  int shards = 1;       ///< Recorded; > 1 only meaningful with sharded.
+  bool sharded = false; ///< Execute under pdes::ShardedRunner (cooperative).
+};
+
+/// Poisson/Pareto matrix over the whole fabric.
+RunResult run_poisson(const PoissonSpec& spec,
+                      std::vector<double>* fcts_out = nullptr) {
   bench::RssProbe rss = bench::RssProbe::begin();
   sim::Simulator sim;
   net::LeafSpine ls = make_fabric(sim);
   flowsim::FlowSimulator fs(sim, *ls.topology);
   workload::Cluster cluster(sim);
   cluster.set_backend(&fs);
+
+  // The sharded variant partitions the fabric exactly like cluster_scale
+  // --shards. The fluid backend posts no link deliveries, so no event ever
+  // crosses a shard cut: the arrival timer, the drain-heap timer and every
+  // completion run in shard 0 under the canonical (when,key) order, and the
+  // runner's conservative synchronization only advances the idle shards'
+  // clocks. Composing is the point being proven — the output must be
+  // byte-identical to the serial twin.
+  std::unique_ptr<pdes::ShardedRunner> runner;
+  pdes::Partition part;
+  if (spec.sharded) {
+    pdes::PartitionOptions popts;
+    popts.shards = spec.shards;
+    part = pdes::partition_topology(*ls.topology, popts);
+    sim.configure_shards(part.shards);
+    runner = std::make_unique<pdes::ShardedRunner>(
+        sim, *ls.topology, part, pdes::ShardedRunner::Mode::kCooperative);
+  }
 
   traffic::TrafficSource source(
       sim, cluster, all_hosts(ls),
@@ -131,32 +210,35 @@ RunResult run_poisson(bool quick, int shards) {
   tc.pattern = traffic::Pattern::kPoisson;
   tc.size_dist = traffic::SizeDist::kPareto;
   tc.mean_bytes = 40'000;
-  tc.flows_per_second = 8000.0;
+  tc.flows_per_second = spec.flows_per_second;
   tc.start = 0;
-  tc.stop = sim::seconds(quick ? 6 : 60);
+  tc.stop = sim::seconds(spec.seconds);
   tc.seed = 31;
   source.install(tc);
 
   const sim::SimTime horizon = tc.stop + sim::seconds(5);
   const auto t0 = std::chrono::steady_clock::now();
-  sim.run_until(horizon);
+  if (runner != nullptr) {
+    runner->run_until(horizon);
+  } else {
+    sim.run_until(horizon);
+  }
   const auto t1 = std::chrono::steady_clock::now();
 
   rss.end();
   RunResult r;
-  r.name = "poisson";
-  r.transfers = fs.stats().messages_posted;
-  r.completed = fs.stats().messages_completed;
-  r.shards = shards;
+  r.name = spec.name;
+  fill_solver_counters(r, fs);
+  r.shards = spec.shards;
   r.sim_s = sim::to_seconds(horizon);
   r.events = sim.events_executed();
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
-  r.recomputes = fs.stats().recomputes;
   r.p99_fct_s =
       analysis::fct_stats(source.completed_fcts_seconds(), source.open())
           .p99_s;
   r.rss_mb = rss.after_mb;
   r.rss_delta_mb = rss.delta_mb();
+  if (fcts_out != nullptr) *fcts_out = source.completed_fcts_seconds();
   return r;
 }
 
@@ -204,15 +286,42 @@ RunResult run_training(bool quick, int shards) {
   rss.end();
   RunResult r;
   r.name = "training";
-  r.transfers = fs.stats().messages_posted;
-  r.completed = fs.stats().messages_completed;
+  fill_solver_counters(r, fs);
   r.shards = shards;
   r.sim_s = sim::to_seconds(horizon);
   r.events = sim.events_executed();
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
-  r.recomputes = fs.stats().recomputes;
   r.rss_mb = rss.after_mb;
   r.rss_delta_mb = rss.delta_mb();
+  return r;
+}
+
+/// Serial twin vs. sharded run of the same quick-scale poisson matrix;
+/// returns the sharded RunResult with matched=1 iff transfers, completions,
+/// solver counters and the full FCT vector are bit-identical.
+RunResult run_sharded_sanity(int shards) {
+  PoissonSpec serial_spec;
+  serial_spec.name = "poisson-sharded";
+  serial_spec.flows_per_second = 8000.0;
+  serial_spec.seconds = 6;
+  std::vector<double> serial_fcts;
+  const RunResult serial = run_poisson(serial_spec, &serial_fcts);
+
+  PoissonSpec sharded_spec = serial_spec;
+  sharded_spec.shards = shards;
+  sharded_spec.sharded = true;
+  std::vector<double> sharded_fcts;
+  RunResult r = run_poisson(sharded_spec, &sharded_fcts);
+
+  const bool matched =
+      serial.transfers == r.transfers && serial.completed == r.completed &&
+      serial.recomputes == r.recomputes &&
+      serial.waterfill_rounds == r.waterfill_rounds &&
+      serial.waterfill_channels == r.waterfill_channels &&
+      serial_fcts.size() == sharded_fcts.size() &&
+      std::equal(serial_fcts.begin(), serial_fcts.end(),
+                 sharded_fcts.begin());
+  r.matched = matched ? 1 : 0;
   return r;
 }
 
@@ -221,54 +330,90 @@ RunResult run_training(bool quick, int shards) {
 int main(int argc, char** argv) {
   bool quick = false;
   int shards = pdes::shards_from_env();
+  std::int64_t flows = kDefaultFlows;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
     if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = std::max(1, std::atoi(argv[i] + 9));
     }
+    if (std::strncmp(argv[i], "--flows=", 8) == 0) {
+      flows = std::max<std::int64_t>(1, std::atoll(argv[i] + 8));
+    }
   }
+  shards = std::max(2, shards);  // The sanity point needs a real partition.
   bench::print_header(quick ? "flowsim scale (quick)" : "flowsim scale");
   std::printf("packet-path ceiling (cluster_scale): %" PRId64
-              " flows; full-mode floor: %" PRId64 " transfers (100x)\n",
-              kPacketCeiling, kTransferFloor);
-  if (shards > 1) {
-    std::printf("note: %d shards requested, but the flow-level backend is a "
-                "centralized max-min allocator (every rate refresh reads "
-                "global fabric state) — runs stay serial; the flag is "
-                "recorded for cross-campaign parity only\n",
-                shards);
-  }
+              " flows; poisson floor: %" PRId64 " transfers (100x); "
+              "poisson-1m floor: %" PRId64 " completed\n",
+              kPacketCeiling, kTransferFloor, kMillionFloor);
+
+  // poisson-1m first: the kernel RSS high-water mark only grows, so only
+  // the biggest point measured first gets an honest rss_delta_mb.
+  PoissonSpec million;
+  million.name = "poisson-1m";
+  million.flows_per_second = 16000.0;
+  million.seconds =
+      quick ? 6
+            : static_cast<int>((flows + 15'999) / 16'000);  // ceil to budget.
 
   std::vector<RunResult> results;
-  results.push_back(run_poisson(quick, shards));
-  results.push_back(run_training(quick, shards));
+  results.push_back(run_poisson(million));
+  PoissonSpec base;
+  base.name = "poisson";
+  base.flows_per_second = 8000.0;
+  base.seconds = quick ? 6 : 60;
+  results.push_back(run_poisson(base));
+  results.push_back(run_training(quick, 1));
+  results.push_back(run_sharded_sanity(shards));
   for (const RunResult& r : results) print_result(r);
 
   auto csv = bench::open_csv(
       "flowsim_scale",
       {"name", "transfers", "completed", "shards", "sim_s", "events",
-       "wall_s", "recomputes", "p99_fct_s", "peak_rss_mb", "rss_delta_mb"});
+       "wall_s", "recomputes", "full_recomputes", "waterfill_rounds",
+       "waterfill_channels", "frozen_skips", "dirty_links", "heap_updates",
+       "p99_fct_s", "peak_rss_mb", "rss_delta_mb", "matched"});
   for (const RunResult& r : results) {
     csv->row({r.name, std::to_string(r.transfers), std::to_string(r.completed),
               std::to_string(r.shards), std::to_string(r.sim_s),
               std::to_string(r.events), std::to_string(r.wall_s),
-              std::to_string(r.recomputes), std::to_string(r.p99_fct_s),
-              std::to_string(r.rss_mb), std::to_string(r.rss_delta_mb)});
+              std::to_string(r.recomputes), std::to_string(r.full_recomputes),
+              std::to_string(r.waterfill_rounds),
+              std::to_string(r.waterfill_channels),
+              std::to_string(r.frozen_skips), std::to_string(r.dirty_links),
+              std::to_string(r.heap_updates), std::to_string(r.p99_fct_s),
+              std::to_string(r.rss_mb), std::to_string(r.rss_delta_mb),
+              std::to_string(r.matched)});
   }
 
+  bool failed = false;
+  const RunResult& sharded = results.back();
+  if (sharded.matched != 1) {
+    std::printf("FLOWSIM SHARDED SANITY FAILED: sharded run diverged from "
+                "the serial twin\n");
+    failed = true;
+  }
   if (!quick) {
-    const std::int64_t completed = results[0].completed;
+    const std::int64_t million_done = results[0].completed;
+    const std::int64_t completed = results[1].completed;
     std::printf("\nscale ratio: %" PRId64 " completed transfers = %.0fx the "
-                "packet ceiling\n",
+                "packet ceiling (poisson-1m: %" PRId64 ")\n",
                 completed,
                 static_cast<double>(completed) /
-                    static_cast<double>(kPacketCeiling));
+                    static_cast<double>(kPacketCeiling),
+                million_done);
     if (completed < kTransferFloor) {
       std::printf("FLOWSIM SCALE FAILED: %" PRId64 " < %" PRId64
                   " transfers\n",
                   completed, kTransferFloor);
-      return 1;
+      failed = true;
+    }
+    if (flows >= kDefaultFlows && million_done < kMillionFloor) {
+      std::printf("FLOWSIM 1M FAILED: %" PRId64 " < %" PRId64
+                  " completed transfers\n",
+                  million_done, kMillionFloor);
+      failed = true;
     }
   }
-  return 0;
+  return failed ? 1 : 0;
 }

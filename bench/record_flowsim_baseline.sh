@@ -3,20 +3,26 @@
 # tracking the transfers/sec trajectory of the flowsim path the way
 # record_scale_baseline.sh tracks the packet path's events/sec.
 #
-# Runs bench/flowsim_scale (RESULT lines: poisson matrix + MLTCP training
-# campaign) and merges the parsed numbers into the JSON file. Existing
-# sections other than the one being written are preserved, so recorded
-# baselines survive re-runs.
+# Runs bench/flowsim_scale (RESULT lines: poisson-1m million-transfer point,
+# poisson matrix, MLTCP training campaign, poisson-sharded PDES sanity) and
+# merges the parsed numbers into the JSON file. Existing sections other than
+# the one being written are preserved, so recorded baselines survive re-runs.
+#
+# Two gates run when CHECK_AGAINST is set:
+#  - throughput: transfers/sec must stay within TOLERANCE of the named
+#    section (machine-speed dependent -> coarse, default 10%).
+#  - recompute ceiling: fills_per_transfer (waterfill channel-rate freezes
+#    per completed transfer — the solver's algorithmic work metric) must not
+#    exceed the named section's value by more than RECOMPUTE_CEILING
+#    (default 1.5x). This is machine-independent: a silent fall-back from
+#    the dirty-set recompute to full waterfills (~8 fills/transfer on the
+#    poisson matrix vs ~1.2 incremental) trips it even on a fast box.
 #
 # Usage:
 #   bench/record_flowsim_baseline.sh                    # record "current"
 #   SECTION=baseline bench/record_flowsim_baseline.sh   # named section
 #   QUICK=1 ...                                         # CI smoke variant
-#   CHECK_AGAINST=baseline TOLERANCE=0.10 ...           # after recording,
-#     exit 1 if any run present in both sections regressed transfers/sec by
-#     more than TOLERANCE. The recorded section was measured on the machine
-#     that ran this script, so cross-machine comparisons gate only coarse
-#     regressions.
+#   CHECK_AGAINST=baseline TOLERANCE=0.10 RECOMPUTE_CEILING=1.5 ...
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -26,6 +32,7 @@ SECTION="${SECTION:-current}"
 QUICK="${QUICK:-0}"
 CHECK_AGAINST="${CHECK_AGAINST:-}"
 TOLERANCE="${TOLERANCE:-0.10}"
+RECOMPUTE_CEILING="${RECOMPUTE_CEILING:-1.5}"
 
 RAW="$BUILD/flowsim_scale.txt"
 ARGS=()
@@ -34,31 +41,27 @@ if [ "$QUICK" = "1" ]; then ARGS+=(--quick); fi
 MLTCP_RESULTS_DIR="${MLTCP_RESULTS_DIR:-$ROOT/results}" \
   "$BUILD/bench/flowsim_scale" "${ARGS[@]+"${ARGS[@]}"}" | tee "$RAW"
 
-python3 - "$OUT" "$SECTION" "$RAW" "$CHECK_AGAINST" "$TOLERANCE" <<'PY'
+python3 - "$OUT" "$SECTION" "$RAW" "$CHECK_AGAINST" "$TOLERANCE" \
+  "$RECOMPUTE_CEILING" <<'PY'
 import json, sys
 
-out_path, section, raw_path, check_against, tolerance = sys.argv[1:6]
+(out_path, section, raw_path, check_against, tolerance,
+ recompute_ceiling) = sys.argv[1:7]
 tolerance = float(tolerance)
+recompute_ceiling = float(recompute_ceiling)
 
+INT_KEYS = {"transfers", "completed", "shards", "events", "recomputes",
+            "full_recomputes", "waterfill_rounds", "waterfill_channels",
+            "frozen_skips", "dirty_links", "heap_updates", "matched"}
 runs = []
 with open(raw_path) as f:
     for line in f:
         if not line.startswith("RESULT "):
             continue
         kv = dict(item.split("=", 1) for item in line.split()[1:])
-        runs.append({
-            "name": kv["name"],
-            "transfers": int(kv["transfers"]),
-            "completed": int(kv["completed"]),
-            "sim_s": float(kv["sim_s"]),
-            "events": int(kv["events"]),
-            "wall_s": float(kv["wall_s"]),
-            "transfers_per_sec": round(float(kv["transfers_per_sec"]), 1),
-            "events_per_sec": round(float(kv["events_per_sec"]), 1),
-            "recomputes": int(kv["recomputes"]),
-            "p99_fct_s": float(kv["p99_fct_s"]),
-            "peak_rss_mb": float(kv["peak_rss_mb"]),
-        })
+        runs.append({k: (int(v) if k in INT_KEYS
+                         else v if k == "name" else float(v))
+                     for k, v in kv.items()})
 if not runs:
     sys.exit("no RESULT lines found in " + raw_path)
 
@@ -92,7 +95,19 @@ if check_against:
               f"(floor {floor:.0f}) -> {verdict}")
         if verdict != "ok":
             failures.append(r)
+        # Algorithmic gate: solver work per transfer (machine-independent).
+        # Older sections predate the counter; skip them.
+        if "fills_per_transfer" in b and b["fills_per_transfer"] > 0:
+            ceiling = b["fills_per_transfer"] * recompute_ceiling
+            fpt = r.get("fills_per_transfer", 0.0)
+            verdict = "ok" if fpt <= ceiling else "REGRESSED"
+            print(f"gate {r['name']}: {fpt:.3f} fills/transfer vs "
+                  f"{check_against} {b['fills_per_transfer']:.3f} "
+                  f"(ceiling {ceiling:.3f}) -> {verdict}")
+            if verdict != "ok":
+                failures.append(r)
     if failures:
-        sys.exit(f"{len(failures)} run(s) regressed transfers/sec by more "
-                 f"than {tolerance:.0%} vs section '{check_against}'")
+        sys.exit(f"{len(failures)} gate failure(s) vs section "
+                 f"'{check_against}' (tolerance {tolerance:.0%}, "
+                 f"recompute ceiling {recompute_ceiling:g}x)")
 PY

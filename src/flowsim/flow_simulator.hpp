@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -7,6 +8,7 @@
 
 #include "core/aggressiveness.hpp"
 #include "net/topology.hpp"
+#include "sim/indexed_heap.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 #include "workload/backend.hpp"
@@ -25,12 +27,28 @@ struct FlowSimConfig {
   /// Fraction of a link's capacity below which residual capacity is treated
   /// as exhausted by the water-filling loop (guards float drift).
   double capacity_epsilon = 1e-9;
+  /// Escape hatch: water-fill the whole fabric on every recompute instead
+  /// of only the dirty region — the reference the incremental path is
+  /// differentially tested against. Model output (rates, completion times)
+  /// is bit-identical either way; only the work done differs. Defaults to
+  /// the MLTCP_FLOWSIM_FULL_RECOMPUTE environment variable.
+  bool full_recompute = false;
 };
 
-/// Counters exposed for benchmarks and the fidelity gate.
+/// Counters exposed for benchmarks, telemetry and the fidelity gate.
 struct FlowSimStats {
   std::int64_t recomputes = 0;        ///< Allocation passes run.
+  std::int64_t full_recomputes = 0;   ///< Passes with the whole fabric dirty.
   std::int64_t waterfill_rounds = 0;  ///< Bottleneck-freeze rounds, total.
+  /// Channels that entered a water-fill (re-rated). The incremental path's
+  /// work metric: the full-recompute reference pays |sending| per pass,
+  /// the dirty-set path only the affected closure.
+  std::int64_t waterfill_channels = 0;
+  /// Sending channels a pass left untouched (their converged rates were
+  /// provably unaffected by the dirty region).
+  std::int64_t frozen_skips = 0;
+  std::int64_t dirty_links = 0;   ///< Links in dirty closures, summed.
+  std::int64_t heap_updates = 0;  ///< Drain-heap inserts/re-keys/removals.
   std::int64_t messages_posted = 0;
   std::int64_t messages_completed = 0;
   std::int64_t reroutes = 0;  ///< Route re-resolutions after topology churn.
@@ -52,14 +70,23 @@ struct FlowRate {
 /// is exactly the steady state a weighted max-min allocation computes
 /// directly. Non-MLTCP channels weigh 1.0 (plain TCP's equal share).
 ///
-/// Event model: one timer drives the whole backend. Every firing settles
-/// elapsed bytes at the current rates, completes messages whose bytes have
-/// drained (callbacks fire in channel-creation order — deterministic and
+/// Event model: one timer drives the whole backend, armed from an indexed
+/// min-heap of predicted drain/serialization instants. Every firing settles
+/// and completes exactly the channels whose predicted instant arrived
+/// (callbacks fire in channel-creation order — deterministic and
 /// thread-count independent), starts queued messages, re-resolves routes if
-/// the topology changed, refreshes MLTCP weights, water-fills, and arms the
-/// timer at the earliest predicted completion (capped by weight_refresh).
-/// Between firings every rate is constant, so predictions are exact up to
-/// nanosecond rounding.
+/// the topology changed, refreshes MLTCP weights, and water-fills *only the
+/// dirty region*: an arrival/completion/weight change marks the links on
+/// the affected channel's route dirty, and the recompute re-rates just the
+/// channels whose bottleneck sets transitively intersect those links (via
+/// the link->flow adjacency), leaving every other converged rate — and its
+/// heap entry — untouched. Because the weighted max-min allocation
+/// decomposes over connected components of the flow/link sharing graph, the
+/// skipped rates are exactly what a full water-fill would recompute, so the
+/// incremental and full paths produce bit-identical trajectories (enforced
+/// by FlowSimConfig::full_recompute differential tests and the fidelity
+/// gate). Between firings every rate is constant, so predictions are exact
+/// up to nanosecond rounding.
 ///
 /// Faults are read straight off the shared net::Link state the scenario
 /// engine already mutates: a down or blackholed link contributes zero
@@ -68,7 +95,9 @@ struct FlowRate {
 /// (1 - p) of its rate (the goodput a loss-recovery transport sustains).
 /// Route changes re-resolve with the same per-flow ECMP hash the packet
 /// backend uses (Switch::route_for_flow), so a channel rides the same
-/// spine path at either fidelity.
+/// spine path at either fidelity. Routes resolve once into dense spans of
+/// link indices in a shared pool (the switch-route layout), so the
+/// water-fill inner loops are hash-free and pointer-chase-free.
 class FlowSimulator : public workload::Backend {
  public:
   /// Installs itself as `topology`'s change observer (see
@@ -90,6 +119,14 @@ class FlowSimulator : public workload::Backend {
   /// allocated rates — a debugging/testing window into the allocation.
   std::vector<FlowRate> current_rates() const;
 
+  /// Reference allocation: re-derives every sending channel's rate with a
+  /// from-scratch global water-fill over the channels' resolved routes,
+  /// independent of the incremental bookkeeping (dirty sets, link
+  /// membership lists), without mutating any state. The differential tests
+  /// assert current_rates() == reference_rates() after arbitrary event
+  /// histories.
+  std::vector<FlowRate> reference_rates() const;
+
   /// Total channels created.
   std::size_t channel_count() const { return channels_.size(); }
 
@@ -97,18 +134,71 @@ class FlowSimulator : public workload::Backend {
   class FlowChannel;
   friend class FlowChannel;
 
+  struct HeapPosOf {
+    std::int32_t& operator()(FlowChannel* ch) const;
+  };
+  using DrainHeap = sim::IndexedMinHeap4<sim::SimTime, FlowChannel*, HeapPosOf>;
+
+  /// One sending channel's membership in a link's flow list, with the hop
+  /// index that lets a swap-removal repair the moved entry's slot.
+  struct MemberEntry {
+    FlowChannel* ch = nullptr;
+    std::int32_t hop = 0;
+  };
+  /// Per-link flow list: a (base, size, capacity) window into the shared
+  /// member pool. Blocks are power-of-two sized and recycled through
+  /// per-class free lists, so growing lists never leak pool space and the
+  /// per-link vectors cost no standalone heap allocations.
+  struct LinkList {
+    std::int32_t base = 0;
+    std::int32_t size = 0;
+    std::int32_t cap = 0;  ///< 0 or a power of two.
+  };
+
   void on_timer();
-  /// Advances every sending channel by (now - settled_at_) at its current
-  /// rate.
-  void settle(sim::SimTime now);
+  /// Brings one channel's remaining-bytes account up to `now` at its
+  /// current (constant) rate. Channels settle lazily — only when their
+  /// rate is about to change, their weight is read, or they complete — so
+  /// untouched channels cost nothing per event.
+  void settle_channel(FlowChannel* ch, sim::SimTime now);
   /// Re-resolves the route of every busy channel (after topology churn).
   void reroute_busy();
-  /// Refreshes weights, water-fills, predicts the next event and arms the
-  /// timer.
+  /// Refreshes weights, water-fills the dirty closure, re-keys re-rated
+  /// channels in the drain heap and arms the timer.
   void reallocate(sim::SimTime now);
   /// Called by channels when a message is posted on an idle channel and by
   /// the topology change hook.
   void schedule_recompute();
+
+  /// Grows the dense per-link arrays (and refreshes cached capacities) if
+  /// the topology gained links since the last pass.
+  void ensure_link_arrays();
+  void refresh_capacities();
+  /// Resolves src->dst into a dense span of link indices in route_pool_.
+  /// Returns false (and leaves the span empty) when no complete path
+  /// exists.
+  bool resolve_route_span(FlowChannel* ch);
+
+  void mark_link_dirty(std::int32_t li);
+  void mark_route_dirty(const FlowChannel* ch);
+
+  void add_membership(FlowChannel* ch);
+  void remove_membership(FlowChannel* ch);
+  void ensure_member_capacity(std::int32_t li);
+
+  void busy_add(FlowChannel* ch);
+  void busy_remove(FlowChannel* ch);
+
+  /// Predicted serialization-complete instant at the channel's current
+  /// rate, one nanosecond past the exact drain time.
+  sim::SimTime predict_drain(const FlowChannel* ch, sim::SimTime now) const;
+  void heap_update(FlowChannel* ch, sim::SimTime key);
+  void heap_remove(FlowChannel* ch);
+
+  /// Transitions a sending channel to/from the stalled (dead-route) state,
+  /// maintaining membership lists, heap entries and counters.
+  void make_stalled(FlowChannel* ch, sim::SimTime now);
+  void make_unstalled(FlowChannel* ch, sim::SimTime now);
 
   sim::Simulator& sim_;
   net::Topology& topo_;
@@ -116,18 +206,42 @@ class FlowSimulator : public workload::Backend {
   sim::Timer timer_;
 
   std::vector<std::unique_ptr<FlowChannel>> channels_;
-  /// Dense link index for the water-filling scratch arrays; rebuilt when
-  /// the topology grows.
+  /// Link* -> dense index, used only on the cold route-resolution path;
+  /// the hot loops run on int32 spans.
   std::unordered_map<const net::Link*, std::int32_t> link_index_;
-  /// Scratch (sized to links, reused across recomputes): residual capacity
-  /// (bytes/s), unfrozen weight sum and unfrozen flow count per link, plus
-  /// the unfrozen channels crossing each link.
+  std::vector<const net::Link*> link_ptrs_;  ///< Dense index -> link.
+  std::vector<double> link_capacity_;  ///< Effective bytes/s (fault-derated).
+
+  /// Route spans: per-channel (base, len) windows into route_pool_ (link
+  /// indices) with slot_pool_ alongside (the channel's position inside each
+  /// crossed link's member list).
+  std::vector<std::int32_t> route_pool_;
+  std::vector<std::int32_t> slot_pool_;
+
+  /// link -> sending flows crossing it, the adjacency the dirty-set closure
+  /// and the water-fill both walk.
+  std::vector<LinkList> link_members_;
+  std::vector<MemberEntry> member_pool_;
+  std::array<std::vector<std::int32_t>, 31> member_free_;
+
+  /// Water-fill scratch (sized to links, reused across recomputes).
   std::vector<double> link_residual_;
   std::vector<double> link_weight_sum_;
   std::vector<std::int32_t> link_active_;
-  std::vector<std::vector<FlowChannel*>> link_flows_;
-  std::vector<std::int32_t> used_links_;      ///< Links touched this pass.
-  std::vector<FlowChannel*> active_scratch_;  ///< Channels in this pass.
+  std::vector<std::int32_t> used_links_;  ///< Links touched this pass.
+
+  /// Dirty-region bookkeeping.
+  std::vector<std::uint8_t> link_dirty_;
+  std::vector<std::int32_t> dirty_links_;
+  bool dirty_all_ = false;
+
+  std::vector<FlowChannel*> affected_;  ///< Closure of this pass.
+  std::vector<double> prev_rate_;       ///< Rates before this pass's fill.
+  std::vector<FlowChannel*> due_;       ///< Heap entries popped this firing.
+  std::vector<FlowChannel*> completed_scratch_;
+  std::uint32_t visit_epoch_ = 0;
+
+  DrainHeap drain_heap_;
 
   /// Channels with a message in flight (sending or draining). Event-loop
   /// work scales with this concurrency bound, not with the total channel
@@ -137,7 +251,11 @@ class FlowSimulator : public workload::Backend {
   /// Idle channels whose queue gained a message since the last pass.
   std::vector<FlowChannel*> start_queue_;
 
-  sim::SimTime settled_at_ = 0;
+  /// Sending, non-stalled channels (and the MLTCP subset): the population
+  /// the frozen-skip metric and the weight-refresh cap are defined over.
+  std::int64_t sending_count_ = 0;
+  std::int64_t mltcp_sending_ = 0;
+
   bool in_recompute_ = false;
   bool recompute_pending_ = false;
   bool routes_dirty_ = false;

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mltcp::sim {
+
+/// Indexed implicit 4-ary min-heap: the EventQueue's heap layout (shallow
+/// 4-ary levels of small entries, branch-light sift loops) generalized to
+/// keyed *handles* that support decrease/increase-key and removal by item.
+///
+/// The item type T (cheap to copy — a pointer or small id) exposes a
+/// position slot through the PosOf policy: `PosOf{}(item)` must return an
+/// `std::int32_t&` the heap stores the item's current index in (-1 when the
+/// item is not in the heap). That makes update()/remove() O(log4 n) with no
+/// hashing and no per-operation allocation — the idiom the flow-level
+/// backend's drain-event index needs: hundreds of thousands of re-keys where
+/// only re-rated channels pay for their position change.
+///
+/// Ties: equal keys pop in unspecified (but deterministic, operation-history
+/// defined) order. Callers that need a canonical order at equal keys must
+/// impose it after popping (the flow simulator sorts its due set by channel
+/// ordinal).
+template <typename Key, typename T, typename PosOf>
+class IndexedMinHeap4 {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Key of the minimum entry. Precondition: !empty().
+  const Key& min_key() const {
+    assert(!heap_.empty());
+    return heap_.front().key;
+  }
+
+  /// Item of the minimum entry. Precondition: !empty().
+  const T& min_item() const {
+    assert(!heap_.empty());
+    return heap_.front().item;
+  }
+
+  bool contains(const T& item) const { return PosOf{}(item) >= 0; }
+
+  /// Inserts `item` with `key`, or re-keys it in place if already present.
+  void update(const T& item, const Key& key) {
+    std::int32_t& pos = PosOf{}(item);
+    if (pos < 0) {
+      pos = static_cast<std::int32_t>(heap_.size());
+      heap_.push_back(Entry{key, item});
+      sift_up(static_cast<std::size_t>(pos));
+      return;
+    }
+    const std::size_t i = static_cast<std::size_t>(pos);
+    assert(i < heap_.size() && heap_[i].item == item);
+    const Key old = heap_[i].key;
+    heap_[i].key = key;
+    if (key < old) {
+      sift_up(i);
+    } else if (old < key) {
+      sift_down(i);
+    }
+  }
+
+  /// Removes `item` if present; no-op otherwise.
+  void remove(const T& item) {
+    std::int32_t& pos = PosOf{}(item);
+    if (pos < 0) return;
+    const std::size_t i = static_cast<std::size_t>(pos);
+    assert(i < heap_.size() && heap_[i].item == item);
+    pos = -1;
+    const std::size_t last = heap_.size() - 1;
+    if (i != last) {
+      const Key displaced = heap_[i].key;
+      heap_[i] = heap_[last];
+      PosOf{}(heap_[i].item) = static_cast<std::int32_t>(i);
+      heap_.pop_back();
+      // The hole filler came from the bottom: it may need to move either way
+      // relative to the removed entry's old position.
+      if (heap_[i].key < displaced) {
+        sift_up(i);
+      } else {
+        sift_down(i);
+      }
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  /// Pops and returns the minimum item. Precondition: !empty().
+  T pop_min() {
+    assert(!heap_.empty());
+    T top = heap_.front().item;
+    PosOf{}(top) = -1;
+    const std::size_t last = heap_.size() - 1;
+    if (last > 0) {
+      heap_.front() = heap_[last];
+      PosOf{}(heap_.front().item) = 0;
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
+    return top;
+  }
+
+  void clear() {
+    for (Entry& e : heap_) PosOf{}(e.item) = -1;
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    T item;
+  };
+
+  /// Index of the smallest of the up-to-four children of `i`; size() must
+  /// be > first_child(i). Mirrors EventQueue::min_child's tournament shape.
+  std::size_t min_child(std::size_t first, std::size_t n) const {
+    std::size_t best = first;
+    const std::size_t end = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (heap_[c].key < heap_[best].key) best = c;
+    }
+    return best;
+  }
+
+  void sift_up(std::size_t i) {
+    Entry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!(e.key < heap_[parent].key)) break;
+      heap_[i] = heap_[parent];
+      PosOf{}(heap_[i].item) = static_cast<std::int32_t>(i);
+      i = parent;
+    }
+    heap_[i] = e;
+    PosOf{}(heap_[i].item) = static_cast<std::int32_t>(i);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    Entry e = heap_[i];
+    while (true) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      const std::size_t c = min_child(first, n);
+      if (!(heap_[c].key < e.key)) break;
+      heap_[i] = heap_[c];
+      PosOf{}(heap_[i].item) = static_cast<std::int32_t>(i);
+      i = c;
+    }
+    heap_[i] = e;
+    PosOf{}(heap_[i].item) = static_cast<std::int32_t>(i);
+  }
+
+  std::vector<Entry> heap_;
+};
+
+}  // namespace mltcp::sim

@@ -1,5 +1,6 @@
 #include "telemetry/collect.hpp"
 
+#include "flowsim/flow_simulator.hpp"
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "net/queue.hpp"
@@ -72,6 +73,21 @@ void collect_cluster(MetricRegistry& reg, const std::string& prefix,
                      flow->sender());
     }
   }
+}
+
+void collect_flowsim(MetricRegistry& reg, const std::string& prefix,
+                     const flowsim::FlowSimStats& stats) {
+  reg.counter(prefix + "/recomputes").add(stats.recomputes);
+  reg.counter(prefix + "/full_recomputes").add(stats.full_recomputes);
+  reg.counter(prefix + "/waterfill_rounds").add(stats.waterfill_rounds);
+  reg.counter(prefix + "/waterfill_channels").add(stats.waterfill_channels);
+  reg.counter(prefix + "/frozen_skips").add(stats.frozen_skips);
+  reg.counter(prefix + "/dirty_links").add(stats.dirty_links);
+  reg.counter(prefix + "/heap_updates").add(stats.heap_updates);
+  reg.counter(prefix + "/messages_posted").add(stats.messages_posted);
+  reg.counter(prefix + "/messages_completed").add(stats.messages_completed);
+  reg.counter(prefix + "/reroutes").add(stats.reroutes);
+  reg.counter(prefix + "/stalls").add(stats.stalls);
 }
 
 }  // namespace mltcp::telemetry

@@ -17,6 +17,9 @@ namespace mltcp::workload {
 class Job;
 class Cluster;
 }  // namespace mltcp::workload
+namespace mltcp::flowsim {
+struct FlowSimStats;
+}
 
 namespace mltcp::telemetry {
 
@@ -56,5 +59,14 @@ void collect_job(MetricRegistry& reg, const std::string& prefix,
 /// sender (under <prefix>/flow/<id>).
 void collect_cluster(MetricRegistry& reg, const std::string& prefix,
                      const workload::Cluster& cluster);
+
+/// flowsim: <prefix>/{recomputes,full_recomputes,waterfill_rounds,
+/// waterfill_channels,frozen_skips,dirty_links,heap_updates,
+/// messages_posted,messages_completed,reroutes,stalls} — the flow-level
+/// backend's solver counters, so an algorithmic regression (e.g. a silent
+/// fall-back to full recomputes) is visible in the consolidated registry,
+/// not just in wall time.
+void collect_flowsim(MetricRegistry& reg, const std::string& prefix,
+                     const flowsim::FlowSimStats& stats);
 
 }  // namespace mltcp::telemetry

@@ -9,8 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <numeric>
+#include <random>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,13 +25,18 @@
 #include "core/mltcp.hpp"
 #include "flowsim/flow_simulator.hpp"
 #include "net/topology.hpp"
+#include "pdes/partition.hpp"
+#include "pdes/sharded_runner.hpp"
 #include "runner/campaign.hpp"
 #include "runner/sinks.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/indexed_heap.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/reno.hpp"
 #include "traffic/jobs.hpp"
+#include "traffic/pattern.hpp"
+#include "traffic/source.hpp"
 #include "workload/cluster.hpp"
 
 namespace mltcp {
@@ -401,6 +413,272 @@ TEST(FlowsimDeterminism, FaultedCampaignByteIdenticalAcrossThreadCounts) {
   const std::string parallel = fluid_faulted_campaign(4);
   EXPECT_EQ(parallel, serial)
       << "fluid allocation must not depend on campaign scheduling";
+}
+
+// ------------------------------------------------------ incremental solver
+
+/// Bit-exact trace of the faulted training scenario: iteration end times as
+/// raw IEEE-754 bit patterns plus the backend's message/recompute counters.
+/// Any arithmetic divergence between the incremental and full-recompute
+/// solvers shows up as a byte difference.
+std::string faulted_trace(bool full_recompute) {
+  flowsim::FlowSimConfig cfg;
+  cfg.full_recompute = full_recompute;
+  FluidRig rig(2, cfg);
+  workload::JobSpec spec;
+  spec.name = "j0";
+  spec.flows = {{rig.d.left[0], rig.d.right[0], 600'000},
+                {rig.d.left[1], rig.d.right[1], 600'000}};
+  spec.compute_time = sim::milliseconds(5);
+  spec.max_iterations = 40;
+  spec.cc = core::mltcp_reno_factory();
+  rig.cluster.add_job(spec);
+
+  scenario::Scenario s;
+  s.link_down(sim::milliseconds(40), "swL", "swR");
+  s.link_up(sim::milliseconds(120), "swL", "swR");
+  s.drop_burst(sim::milliseconds(200), "swL", "swR", 0.02, 23);
+  s.drop_burst(sim::milliseconds(400), "swL", "swR", 0.0);
+  s.background_burst(sim::milliseconds(350), 0, 1, 300'000);
+
+  scenario::ScenarioEngine engine(rig.sim, *rig.d.topology, rig.cluster);
+  engine.install(s);
+  rig.cluster.start_all();
+  rig.sim.run_until(sim::seconds(20));
+
+  std::string out;
+  char buf[64];
+  for (const auto& it : rig.cluster.job(0)->iterations()) {
+    const double end_s = sim::to_seconds(it.iter_end);
+    std::uint64_t bits;
+    std::memcpy(&bits, &end_s, sizeof bits);
+    std::snprintf(buf, sizeof buf, "%016" PRIx64 "\n", bits);
+    out += buf;
+  }
+  const auto& st = rig.fs->stats();
+  std::snprintf(buf, sizeof buf, "msgs=%lld recomputes=%lld\n",
+                static_cast<long long>(st.messages_completed),
+                static_cast<long long>(st.recomputes));
+  out += buf;
+  return out;
+}
+
+TEST(FlowsimIncremental, FullRecomputeModeBitIdenticalOnFaultedRun) {
+  const std::string incremental = faulted_trace(false);
+  const std::string full = faulted_trace(true);
+  EXPECT_EQ(incremental, full)
+      << "the dirty-set solver must reproduce the reference global "
+         "waterfill bit-for-bit, faults included";
+}
+
+TEST(FlowsimIncremental, RandomizedDifferentialMatchesReferenceWaterfill) {
+  // >= 10k mixed arrival/completion/fault/weight-refresh events on a
+  // leaf-spine fabric with mixed Reno/MLTCP channels; after every batch of
+  // perturbations the incremental allocation must equal an independent
+  // from-scratch waterfill (FlowSimulator::reference_rates) to 1e-9
+  // relative — catching both dirty-set under-marking and stale caches.
+  sim::Simulator sim;
+  net::LeafSpineConfig cfg;
+  cfg.racks = 4;
+  cfg.hosts_per_rack = 4;
+  cfg.spines = 2;
+  cfg.host_rate_bps = 4e9;
+  cfg.fabric_rate_bps = 1e9;
+  auto ls = net::make_leaf_spine(sim, cfg);
+  flowsim::FlowSimulator fs(sim, *ls.topology);
+  workload::Cluster cluster(sim);
+  cluster.set_backend(&fs);
+
+  std::vector<net::Host*> hosts;
+  for (const auto& rack : ls.racks) {
+    hosts.insert(hosts.end(), rack.begin(), rack.end());
+  }
+  std::mt19937_64 rng(99);
+  std::vector<workload::Channel*> chans;
+  for (int i = 0; i < 48; ++i) {
+    net::Host* src = hosts[rng() % hosts.size()];
+    net::Host* dst = hosts[rng() % hosts.size()];
+    while (dst == src) dst = hosts[rng() % hosts.size()];
+    chans.push_back(cluster.add_channel(
+        {src, dst, 0},
+        i % 2 == 0 ? core::mltcp_reno_factory() : reno()));
+  }
+  std::vector<net::Link*> fabric;
+  for (net::Switch* tor : ls.tors) {
+    for (net::Switch* spine : ls.spines) {
+      fabric.push_back(ls.topology->link_between(*tor, *spine));
+    }
+  }
+
+  auto compare = [&] {
+    const auto cur = fs.current_rates();
+    const auto ref = fs.reference_rates();
+    ASSERT_EQ(cur.size(), ref.size());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      ASSERT_EQ(cur[i].flow, ref[i].flow);
+      const double tol = 1e-9 * std::max(1.0, std::abs(ref[i].rate_bps));
+      ASSERT_NEAR(cur[i].rate_bps, ref[i].rate_bps, tol)
+          << "flow " << cur[i].flow << " diverged from the reference "
+          << "waterfill after step";
+    }
+  };
+
+  sim::SimTime now = 0;
+  int step = 0;
+  bool faulted = false;
+  while (fs.stats().messages_posted + fs.stats().messages_completed <
+         10'000) {
+    ++step;
+    const int bursts = 1 + static_cast<int>(rng() % 3);
+    for (int b = 0; b < bursts; ++b) {
+      const std::int64_t bytes =
+          20'000 + static_cast<std::int64_t>(rng() % 180'000);
+      chans[rng() % chans.size()]->send_message(bytes, [](sim::SimTime) {});
+    }
+    if (rng() % 48 == 0) {
+      net::Link* l = fabric[rng() % fabric.size()];
+      l->set_blackhole(!faulted);
+      ls.topology->notify_changed();
+      faulted = !faulted;
+    } else if (rng() % 48 == 0) {
+      net::Link* l = fabric[rng() % fabric.size()];
+      l->set_fault_drop(faulted ? 0.0 : 0.3, 7);
+      ls.topology->notify_changed();
+    }
+    now += sim::microseconds(200 + static_cast<sim::SimTime>(rng() % 2000));
+    sim.run_until(now);
+    if (step % 16 == 0) compare();
+  }
+  compare();
+  EXPECT_GE(fs.stats().messages_posted + fs.stats().messages_completed,
+            10'000u);
+  EXPECT_GT(fs.stats().frozen_skips, 0)
+      << "the dirty-set never skipped a frozen channel — the incremental "
+         "path is not actually incremental";
+}
+
+// ---------------------------------------------------------- drain-event heap
+
+struct HeapNode {
+  sim::SimTime key = 0;  ///< Mirror of the key the heap currently holds.
+  std::int32_t pos = -1;
+  int id = 0;
+};
+struct HeapNodePos {
+  std::int32_t& operator()(HeapNode* n) const { return n->pos; }
+};
+
+TEST(FlowsimHeap, RandomizedDifferentialAgainstOrderedSet) {
+  // The drain index must agree with an ordered-set reference across a long
+  // random mix of insert / re-key / remove / pop-min — the exact operation
+  // set reallocate() and on_timer() drive it with.
+  sim::IndexedMinHeap4<sim::SimTime, HeapNode*, HeapNodePos> heap;
+  std::vector<HeapNode> nodes(512);
+  for (int i = 0; i < 512; ++i) nodes[i].id = i;
+  // Reference: (key, id) pairs, so min_key comparisons are exact even with
+  // duplicate keys.
+  std::set<std::pair<sim::SimTime, int>> ref;
+
+  std::mt19937_64 rng(1234);
+  for (int op = 0; op < 20'000; ++op) {
+    HeapNode* n = &nodes[rng() % nodes.size()];
+    switch (rng() % 4) {
+      case 0:
+      case 1: {  // Insert-or-rekey (the dominant operation).
+        const sim::SimTime key = static_cast<sim::SimTime>(rng() % 1'000'000);
+        if (n->pos >= 0) ref.erase({n->key, n->id});
+        heap.update(n, key);
+        n->key = key;
+        ref.insert({key, n->id});
+        break;
+      }
+      case 2: {  // Remove (drain transition / completion).
+        if (n->pos >= 0) ref.erase({n->key, n->id});
+        heap.remove(n);
+        break;
+      }
+      case 3: {  // Pop-min (due processing).
+        if (heap.empty()) break;
+        ASSERT_EQ(heap.min_key(), ref.begin()->first);
+        HeapNode* top = heap.pop_min();
+        ASSERT_EQ(top->key, ref.begin()->first)
+            << "popped item's key is not the reference minimum";
+        ref.erase({top->key, top->id});
+        break;
+      }
+    }
+    ASSERT_EQ(heap.size(), ref.size());
+    ASSERT_EQ(heap.contains(n), ref.count({n->key, n->id}) > 0);
+  }
+  while (!heap.empty()) {
+    ASSERT_EQ(heap.min_key(), ref.begin()->first);
+    HeapNode* top = heap.pop_min();
+    ref.erase({top->key, top->id});
+  }
+  EXPECT_TRUE(ref.empty());
+}
+
+// ------------------------------------------------------- PDES composition
+
+/// Quick Poisson matrix on the fluid backend, serial or under the
+/// cooperative sharded runner; returns the completed-FCT vector.
+std::vector<double> sharded_poisson_fcts(int shards) {
+  sim::Simulator sim;
+  net::LeafSpineConfig cfg;
+  cfg.racks = 4;
+  cfg.hosts_per_rack = 4;
+  cfg.spines = 2;
+  cfg.host_rate_bps = 4e9;
+  cfg.fabric_rate_bps = 1e9;
+  auto ls = net::make_leaf_spine(sim, cfg);
+  flowsim::FlowSimulator fs(sim, *ls.topology);
+  workload::Cluster cluster(sim);
+  cluster.set_backend(&fs);
+
+  std::unique_ptr<pdes::ShardedRunner> runner;
+  pdes::Partition part;
+  if (shards > 1) {
+    pdes::PartitionOptions popts;
+    popts.shards = shards;
+    part = pdes::partition_topology(*ls.topology, popts);
+    sim.configure_shards(part.shards);
+    runner = std::make_unique<pdes::ShardedRunner>(
+        sim, *ls.topology, part, pdes::ShardedRunner::Mode::kCooperative);
+  }
+
+  std::vector<net::Host*> hosts;
+  for (const auto& rack : ls.racks) {
+    hosts.insert(hosts.end(), rack.begin(), rack.end());
+  }
+  traffic::TrafficSource source(
+      sim, cluster, hosts, traffic::SourceOptions{reno(), {}, {}});
+  traffic::TrafficConfig tc;
+  tc.pattern = traffic::Pattern::kPoisson;
+  tc.size_dist = traffic::SizeDist::kPareto;
+  tc.mean_bytes = 40'000;
+  tc.flows_per_second = 2000.0;
+  tc.start = 0;
+  tc.stop = sim::seconds(1);
+  tc.seed = 17;
+  source.install(tc);
+
+  const sim::SimTime horizon = tc.stop + sim::seconds(2);
+  if (runner != nullptr) {
+    runner->run_until(horizon);
+  } else {
+    sim.run_until(horizon);
+  }
+  return source.completed_fcts_seconds();
+}
+
+TEST(FlowsimDeterminism, ShardedCooperativeByteIdenticalToSerial) {
+  // The fluid backend posts no link deliveries, so partitioning the fabric
+  // must not move or reorder a single flowsim event: the FCT vector under
+  // the cooperative sharded runner is bit-identical to the serial run.
+  const std::vector<double> serial = sharded_poisson_fcts(1);
+  ASSERT_GT(serial.size(), 1000u);
+  const std::vector<double> sharded = sharded_poisson_fcts(3);
+  EXPECT_EQ(serial, sharded);
 }
 
 // ------------------------------------------------------- packet-level parity
