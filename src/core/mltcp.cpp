@@ -89,6 +89,22 @@ std::unique_ptr<tcp::CongestionControl> make_mltcp_swift(
   return std::make_unique<tcp::SwiftCC>(swift, std::move(gain));
 }
 
+std::unique_ptr<tcp::CongestionControl> make_mltcp_bbr(
+    const MltcpConfig& cfg, std::shared_ptr<const AggressivenessFunction> f,
+    tcp::BbrConfig bbr) {
+  auto gain =
+      std::make_shared<MltcpGain>(f_or_linear(cfg, std::move(f)), cfg.tracker);
+  return std::make_unique<tcp::BbrCC>(bbr, std::move(gain));
+}
+
+std::unique_ptr<tcp::CongestionControl> make_mltcp_gemini(
+    const MltcpConfig& cfg, std::shared_ptr<const AggressivenessFunction> f,
+    tcp::GeminiConfig gemini) {
+  auto gain =
+      std::make_shared<MltcpGain>(f_or_linear(cfg, std::move(f)), cfg.tracker);
+  return std::make_unique<tcp::GeminiCC>(gemini, std::move(gain));
+}
+
 tcp::CcFactory mltcp_reno_factory(
     MltcpConfig cfg, std::shared_ptr<const AggressivenessFunction> f) {
   auto shared_f = f_or_linear(cfg, std::move(f));
@@ -113,6 +129,18 @@ tcp::CcFactory mltcp_swift_factory(
   return [cfg, shared_f] { return make_mltcp_swift(cfg, shared_f); };
 }
 
+tcp::CcFactory mltcp_bbr_factory(
+    MltcpConfig cfg, std::shared_ptr<const AggressivenessFunction> f) {
+  auto shared_f = f_or_linear(cfg, std::move(f));
+  return [cfg, shared_f] { return make_mltcp_bbr(cfg, shared_f); };
+}
+
+tcp::CcFactory mltcp_gemini_factory(
+    MltcpConfig cfg, std::shared_ptr<const AggressivenessFunction> f) {
+  auto shared_f = f_or_linear(cfg, std::move(f));
+  return [cfg, shared_f] { return make_mltcp_gemini(cfg, shared_f); };
+}
+
 tcp::CcFactory reno_factory(tcp::RenoConfig cfg) {
   return [cfg] { return std::make_unique<tcp::RenoCC>(cfg); };
 }
@@ -127,6 +155,14 @@ tcp::CcFactory dctcp_factory(tcp::DctcpConfig cfg) {
 
 tcp::CcFactory swift_factory(tcp::SwiftConfig cfg) {
   return [cfg] { return std::make_unique<tcp::SwiftCC>(cfg); };
+}
+
+tcp::CcFactory bbr_factory(tcp::BbrConfig cfg) {
+  return [cfg] { return std::make_unique<tcp::BbrCC>(cfg); };
+}
+
+tcp::CcFactory gemini_factory(tcp::GeminiConfig cfg) {
+  return [cfg] { return std::make_unique<tcp::GeminiCC>(cfg); };
 }
 
 }  // namespace mltcp::core

@@ -5,9 +5,11 @@
 
 #include "core/aggressiveness.hpp"
 #include "core/iteration_tracker.hpp"
+#include "tcp/bbr.hpp"
 #include "tcp/cong_control.hpp"
 #include "tcp/cubic.hpp"
 #include "tcp/dctcp.hpp"
+#include "tcp/gemini.hpp"
 #include "tcp/reno.hpp"
 #include "tcp/swift.hpp"
 
@@ -85,6 +87,16 @@ std::unique_ptr<tcp::CongestionControl> make_mltcp_swift(
     std::shared_ptr<const AggressivenessFunction> f = nullptr,
     tcp::SwiftConfig swift = {});
 
+std::unique_ptr<tcp::CongestionControl> make_mltcp_bbr(
+    const MltcpConfig& cfg = {},
+    std::shared_ptr<const AggressivenessFunction> f = nullptr,
+    tcp::BbrConfig bbr = {});
+
+std::unique_ptr<tcp::CongestionControl> make_mltcp_gemini(
+    const MltcpConfig& cfg = {},
+    std::shared_ptr<const AggressivenessFunction> f = nullptr,
+    tcp::GeminiConfig gemini = {});
+
 /// --- Factories for experiment harnesses ---------------------------------
 /// Stamp out one controller per flow. All flows of a job share the same
 /// aggressiveness function object (requirement (iii) of §3.1) but get their
@@ -102,11 +114,19 @@ tcp::CcFactory mltcp_dctcp_factory(
 tcp::CcFactory mltcp_swift_factory(
     MltcpConfig cfg = {},
     std::shared_ptr<const AggressivenessFunction> f = nullptr);
+tcp::CcFactory mltcp_bbr_factory(
+    MltcpConfig cfg = {},
+    std::shared_ptr<const AggressivenessFunction> f = nullptr);
+tcp::CcFactory mltcp_gemini_factory(
+    MltcpConfig cfg = {},
+    std::shared_ptr<const AggressivenessFunction> f = nullptr);
 
 /// Plain (unaugmented) baselines, for comparison runs.
 tcp::CcFactory reno_factory(tcp::RenoConfig cfg = {});
 tcp::CcFactory cubic_factory(tcp::CubicConfig cfg = {});
 tcp::CcFactory dctcp_factory(tcp::DctcpConfig cfg = {});
 tcp::CcFactory swift_factory(tcp::SwiftConfig cfg = {});
+tcp::CcFactory bbr_factory(tcp::BbrConfig cfg = {});
+tcp::CcFactory gemini_factory(tcp::GeminiConfig cfg = {});
 
 }  // namespace mltcp::core

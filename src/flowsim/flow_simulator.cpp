@@ -182,8 +182,10 @@ workload::Channel* FlowSimulator::create_channel(
   assert(spec.src != nullptr && spec.dst != nullptr);
   // Probe the congestion-control factory once: an MLTCP-augmented
   // controller carries the aggressiveness function the fluid allocation
-  // needs; everything else (Reno/Cubic/DCTCP/Swift, window configs) is
-  // packet-level mechanism the fluid model abstracts away.
+  // needs; everything else is packet-level mechanism the fluid model
+  // abstracts away — window arithmetic (Reno/Cubic/DCTCP/Swift) and
+  // rate-based state machines (BBR's bandwidth filter, Gemini's dual loop)
+  // alike, since at fluid fidelity both reduce to a max-min weight.
   std::shared_ptr<const core::AggressivenessFunction> f;
   if (spec.cc) {
     if (const auto probe = spec.cc(); probe != nullptr) {

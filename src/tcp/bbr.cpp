@@ -1,0 +1,231 @@
+#include "tcp/bbr.hpp"
+
+#include <algorithm>
+
+namespace mltcp::tcp {
+
+BbrCC::BbrCC(BbrConfig cfg, std::shared_ptr<WindowGain> gain)
+    : CongestionControl(std::move(gain)), cfg_(cfg) {}
+
+double BbrCC::bdp() const {
+  if (btl_bw_ <= 0.0 || min_rtt_ <= 0) return 0.0;
+  return btl_bw_ * sim::to_seconds(min_rtt_);
+}
+
+double BbrCC::cwnd() const {
+  if (state_ == State::kProbeRtt) return cfg_.min_cwnd;
+  const double b = bdp();
+  if (b <= 0.0) return cfg_.initial_cwnd;
+  if (state_ == State::kStartup) return std::max(cfg_.startup_gain * b, cfg_.min_cwnd);
+  // The MLTCP seam, part 1: the inflight cap scales with F(bytes_ratio).
+  // When the bottleneck is oversubscribed every flow is window-limited, the
+  // queue shares capacity by inflight, and this cap is what decides the
+  // flow's share — scaling only the probe gain would be invisible exactly
+  // when contention is worst. Deliberately NOT floored at one BDP: early in
+  // an iteration (F < 0.5 with the default gains) the cap dips below the
+  // BDP, throttling the flow below its own estimate — that self-choke IS
+  // the yield that lets a nearly-finished competitor monopolize the link.
+  // It is graduated, not a trap: the throttled flow still delivers, its
+  // bytes_ratio climbs, and past ~20% of the iteration the cap re-opens
+  // probing headroom. (Flooring the factor at 1 was tried and starves:
+  // probing needs inflight room beyond one BDP to ever raise the estimate.)
+  return std::max(cfg_.cwnd_gain * gain_->gain() * b, cfg_.min_cwnd);
+}
+
+double BbrCC::current_pacing_gain() const {
+  switch (state_) {
+    case State::kStartup:
+      return cfg_.startup_gain;
+    case State::kDrain:
+      return 1.0 / cfg_.startup_gain;
+    case State::kProbeRtt:
+      return 1.0;
+    case State::kProbeBw:
+      // The MLTCP seam, part 2: probing aggressiveness scales with
+      // F(bytes_ratio), exactly where window-based variants scale their
+      // additive increase.
+      if (phase_ == 0) return 1.0 + (cfg_.probe_bw_up - 1.0) * gain_->gain();
+      if (phase_ == 1) return cfg_.probe_bw_down;
+      return 1.0;
+  }
+  return 1.0;
+}
+
+double BbrCC::pacing_rate() const {
+  // No bandwidth estimate yet (first round of STARTUP): ACK-clocked.
+  if (btl_bw_ <= 0.0) return 0.0;
+  return current_pacing_gain() * btl_bw_;
+}
+
+bool BbrCC::update_round(const AckContext& ctx) {
+  if (round_start_time_ < 0) {
+    // First ACK ever: open the first round, no sample yet.
+    round_start_time_ = ctx.now;
+    round_start_delivered_ = delivered_;
+    round_end_seq_ = ctx.ack_seq + std::max<std::int64_t>(ctx.inflight, 1);
+    return false;
+  }
+  if (ctx.ack_seq < round_end_seq_) return false;
+  // Everything in flight at the round start has been delivered: one
+  // packet-timed round trip. Its delivery rate is a bandwidth sample —
+  // unless the round closed faster than the propagation delay, which no
+  // real delivery can do: that is a recovery artifact (a cumulative ACK
+  // jumping a retransmitted hole) and would alias into an estimate orders
+  // of magnitude above the link rate, so it is discarded.
+  const sim::SimTime elapsed_time = ctx.now - round_start_time_;
+  if (elapsed_time > 0 && (min_rtt_ <= 0 || elapsed_time >= min_rtt_)) {
+    const double elapsed = sim::to_seconds(elapsed_time);
+    const double sample =
+        static_cast<double>(delivered_ - round_start_delivered_) / elapsed;
+    update_bw_filter(sample);
+  }
+  ++round_count_;
+  round_start_time_ = ctx.now;
+  round_start_delivered_ = delivered_;
+  round_end_seq_ = ctx.ack_seq + std::max<std::int64_t>(ctx.inflight, 1);
+  return true;
+}
+
+void BbrCC::update_bw_filter(double sample) {
+  // Monotonic max queue over the last bw_filter_rounds rounds: drop expired
+  // heads, drop dominated tails, append, read the head as the max.
+  int head = 0;
+  while (head < bw_filter_size_ &&
+         bw_filter_[static_cast<std::size_t>(head)].round <=
+             round_count_ - cfg_.bw_filter_rounds) {
+    ++head;
+  }
+  if (head > 0) {
+    for (int i = head; i < bw_filter_size_; ++i) {
+      bw_filter_[static_cast<std::size_t>(i - head)] =
+          bw_filter_[static_cast<std::size_t>(i)];
+    }
+    bw_filter_size_ -= head;
+  }
+  while (bw_filter_size_ > 0 &&
+         bw_filter_[static_cast<std::size_t>(bw_filter_size_ - 1)].bw <=
+             sample) {
+    --bw_filter_size_;
+  }
+  if (bw_filter_size_ < static_cast<int>(bw_filter_.size())) {
+    bw_filter_[static_cast<std::size_t>(bw_filter_size_++)] =
+        BwSample{round_count_, sample};
+  }
+  btl_bw_ = bw_filter_[0].bw;
+}
+
+void BbrCC::update_min_rtt(const AckContext& ctx) {
+  if (ctx.rtt_sample > 0) {
+    if (min_rtt_ <= 0 || ctx.rtt_sample <= min_rtt_) {
+      min_rtt_ = ctx.rtt_sample;
+      min_rtt_stamp_ = ctx.now;
+    }
+    // While PROBE_RTT drains the queue, remember the *lowest* sample seen —
+    // the estimate is refreshed from it at exit. Accepting any sample here
+    // instead would let competitors' queueing inflate min_rtt, and an
+    // inflated min_rtt feeds back: bigger BDP -> bigger inflight cap ->
+    // deeper queue -> even higher samples at the next refresh.
+    if (state_ == State::kProbeRtt &&
+        (probe_rtt_min_ <= 0 || ctx.rtt_sample < probe_rtt_min_)) {
+      probe_rtt_min_ = ctx.rtt_sample;
+    }
+  }
+  if (state_ != State::kProbeRtt && min_rtt_stamp_ >= 0 &&
+      ctx.now - min_rtt_stamp_ > cfg_.min_rtt_window) {
+    state_ = State::kProbeRtt;
+    probe_rtt_start_ = ctx.now;
+    probe_rtt_min_ = -1;
+  }
+}
+
+void BbrCC::check_full_pipe() {
+  if (filled_pipe_) return;
+  if (btl_bw_ >= full_bw_ * cfg_.startup_growth_target) {
+    full_bw_ = btl_bw_;
+    full_bw_rounds_ = 0;
+    return;
+  }
+  if (++full_bw_rounds_ >= cfg_.startup_full_bw_rounds) filled_pipe_ = true;
+}
+
+void BbrCC::enter_probe_bw() {
+  state_ = State::kProbeBw;
+  // Deterministic cycle start on a cruise phase (Linux randomizes to avoid
+  // fleet synchronization; the simulator needs reproducibility instead).
+  phase_ = 2;
+}
+
+void BbrCC::on_ack(const AckContext& ctx) {
+  gain_->on_ack(ctx);
+  if (ctx.num_acked <= 0) return;
+  delivered_ += ctx.num_acked;
+
+  const bool round_start = update_round(ctx);
+  update_min_rtt(ctx);
+
+  switch (state_) {
+    case State::kStartup:
+      if (round_start) {
+        check_full_pipe();
+        if (filled_pipe_) state_ = State::kDrain;
+      }
+      break;
+    case State::kDrain:
+      if (static_cast<double>(ctx.inflight) <= bdp()) enter_probe_bw();
+      break;
+    case State::kProbeBw:
+      // One cycle phase per packet-timed round.
+      if (round_start) phase_ = (phase_ + 1) % 8;
+      break;
+    case State::kProbeRtt:
+      if (probe_rtt_start_ >= 0 &&
+          ctx.now - probe_rtt_start_ >= cfg_.probe_rtt_duration) {
+        // Refresh from the drained-queue observation; keep the old estimate
+        // if the probe saw no samples at all.
+        if (probe_rtt_min_ > 0) min_rtt_ = probe_rtt_min_;
+        min_rtt_stamp_ = ctx.now;
+        probe_rtt_start_ = -1;
+        if (filled_pipe_) {
+          enter_probe_bw();
+        } else {
+          state_ = State::kStartup;
+        }
+      }
+      break;
+  }
+}
+
+void BbrCC::on_loss(sim::SimTime /*now*/) {
+  // BBR's congestion response lives in the model, not in loss events: the
+  // sender's fast-recovery machinery retransmits, the bandwidth filter
+  // adapts as delivery-rate samples shrink. (BBRv1 packet-conservation
+  // during recovery is an inflight cap the cwnd_gain headroom subsumes at
+  // this fidelity.)
+}
+
+void BbrCC::on_timeout(sim::SimTime /*now*/) {
+  // An RTO means the model lost touch with the path (blackout, route
+  // change): discard the bandwidth filter — its samples describe the old
+  // path — and restart discovery. min_rtt survives; it can only have been
+  // underestimated, never inflated, by the outage.
+  bw_filter_size_ = 0;
+  btl_bw_ = 0.0;
+  full_bw_ = 0.0;
+  full_bw_rounds_ = 0;
+  filled_pipe_ = false;
+  round_start_time_ = -1;
+  state_ = State::kStartup;
+  phase_ = 0;
+}
+
+void BbrCC::on_idle_restart(sim::SimTime /*now*/) {
+  // The estimates stay valid across an application-limited pause; pacing
+  // from the old btl_bw restarts the flow at its fair share without a
+  // slow-start burst. Nothing to reset.
+}
+
+std::string BbrCC::name() const {
+  return gain_->name() == "unit" ? "bbr" : "mltcp-bbr[" + gain_->name() + "]";
+}
+
+}  // namespace mltcp::tcp

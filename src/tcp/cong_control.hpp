@@ -31,6 +31,10 @@ struct AckContext {
   /// single ACK event may add (RFC 6582 exits with cwnd ~= ssthresh).
   /// Byte accounting (MLTCP's tracker) always uses num_acked.
   int ca_acked = -1;
+  /// Segments still in flight after this ACK advanced snd_una. Rate-based
+  /// controllers need it: BBR exits DRAIN once inflight falls to the BDP and
+  /// sizes its round-trip accounting by the outstanding data.
+  std::int64_t inflight = 0;
 
   /// What controllers feed their window arithmetic.
   int window_acked() const { return ca_acked >= 0 ? ca_acked : num_acked; }
@@ -91,6 +95,14 @@ class CongestionControl {
   virtual double cwnd() const = 0;
   virtual double ssthresh() const = 0;
   virtual std::string name() const = 0;
+
+  /// Rate-based controllers (BBR, Gemini) drive the sender's pace timer
+  /// directly: the release rate in *segments per second*, or 0 when the
+  /// controller is purely window-based. When positive, the sender paces one
+  /// segment every 1/rate seconds regardless of SenderConfig::pacing (cwnd
+  /// stays the inflight cap); when 0 the sender falls back to cwnd/srtt
+  /// pacing if configured, else ACK clocking.
+  virtual double pacing_rate() const { return 0.0; }
 
   /// Whether data packets should be sent ECN-capable (DCTCP).
   virtual bool wants_ecn() const { return false; }

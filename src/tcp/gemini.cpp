@@ -1,0 +1,106 @@
+#include "tcp/gemini.hpp"
+
+#include <algorithm>
+
+namespace mltcp::tcp {
+
+GeminiCC::GeminiCC(GeminiConfig cfg, std::shared_ptr<WindowGain> gain)
+    : CongestionControl(std::move(gain)),
+      cfg_(cfg),
+      cwnd_(cfg.initial_cwnd),
+      ssthresh_(cfg.initial_ssthresh),
+      window_end_seq_(static_cast<std::int64_t>(cfg.initial_cwnd)) {}
+
+double GeminiCC::h() const {
+  if (srtt_ <= 0 || cfg_.rtt_ref <= 0) return 1.0;
+  const double ratio = static_cast<double>(srtt_) /
+                       static_cast<double>(cfg_.rtt_ref);
+  return std::clamp(ratio, 1.0, cfg_.h_cap);
+}
+
+double GeminiCC::pacing_rate() const {
+  // Smooth release at cwnd per srtt: the inter-DC segment's deep buffers
+  // punish ACK-clocked bursts with delay the loop then has to cut.
+  if (srtt_ <= 0) return 0.0;
+  return cwnd_ / sim::to_seconds(srtt_);
+}
+
+void GeminiCC::end_of_window(const AckContext& ctx) {
+  double cut = 0.0;
+  if (acked_in_window_ > 0) {
+    const double frac = static_cast<double>(marked_in_window_) /
+                        static_cast<double>(acked_in_window_);
+    alpha_ = (1.0 - cfg_.g) * alpha_ + cfg_.g * frac;
+    // Intra-DC loop: DCTCP's proportional cut.
+    if (marked_in_window_ > 0) cut = alpha_ / 2.0;
+  }
+  // Inter-DC loop: queueing delay beyond the threshold cuts proportionally
+  // to the excess, capped at delay_beta. The two loops fuse by applying the
+  // stronger signal once per window.
+  if (min_rtt_ > 0 && last_rtt_ > min_rtt_ + cfg_.delay_threshold) {
+    const double excess =
+        static_cast<double>(last_rtt_ - min_rtt_ - cfg_.delay_threshold) /
+        static_cast<double>(cfg_.delay_threshold);
+    cut = std::max(cut, cfg_.delay_beta * std::min(1.0, excess));
+  }
+  if (cut > 0.0) {
+    cwnd_ = std::max(cwnd_ * (1.0 - cut), cfg_.min_cwnd);
+    ssthresh_ = cwnd_;
+    last_decrease_ = ctx.now;
+  }
+  acked_in_window_ = 0;
+  marked_in_window_ = 0;
+  window_end_seq_ = ctx.ack_seq + static_cast<std::int64_t>(cwnd_) + 1;
+}
+
+void GeminiCC::on_ack(const AckContext& ctx) {
+  gain_->on_ack(ctx);
+  if (ctx.num_acked <= 0) return;
+
+  if (ctx.rtt_sample > 0) {
+    last_rtt_ = ctx.rtt_sample;
+    if (min_rtt_ <= 0 || ctx.rtt_sample < min_rtt_) min_rtt_ = ctx.rtt_sample;
+    srtt_ = srtt_ <= 0 ? ctx.rtt_sample
+                       : srtt_ + (ctx.rtt_sample - srtt_) / 8;
+  }
+
+  acked_in_window_ += ctx.num_acked;
+  if (ctx.ece) marked_in_window_ += ctx.num_acked;
+  if (ctx.ack_seq >= window_end_seq_) end_of_window(ctx);
+
+  if (in_slow_start()) {
+    // Slow start doubles per RTT regardless of the aggressiveness function:
+    // MLTCP (Alg. 1) scales only the congestion-avoidance increment.
+    cwnd_ += ctx.window_acked();
+    if (cwnd_ > ssthresh_) cwnd_ = ssthresh_;
+    return;
+  }
+  cwnd_ += gain_->gain() * h() *
+           static_cast<double>(ctx.window_acked()) / cwnd_;
+}
+
+void GeminiCC::on_loss(sim::SimTime now) {
+  // At most one loss-triggered halving per RTT: dupACK trains from a single
+  // drop burst must not stack decreases on top of a window-end cut.
+  if (last_decrease_ >= 0 && srtt_ > 0 && now - last_decrease_ < srtt_) return;
+  ssthresh_ = std::max(cwnd_ / 2.0, cfg_.min_cwnd);
+  cwnd_ = ssthresh_;
+  last_decrease_ = now;
+}
+
+void GeminiCC::on_timeout(sim::SimTime now) {
+  ssthresh_ = std::max(cwnd_ / 2.0, cfg_.min_cwnd);
+  cwnd_ = cfg_.min_cwnd;
+  last_decrease_ = now;
+}
+
+void GeminiCC::on_idle_restart(sim::SimTime /*now*/) {
+  cwnd_ = cfg_.initial_cwnd;
+}
+
+std::string GeminiCC::name() const {
+  return gain_->name() == "unit" ? "gemini"
+                                 : "mltcp-gemini[" + gain_->name() + "]";
+}
+
+}  // namespace mltcp::tcp

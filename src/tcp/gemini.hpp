@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tcp/cong_control.hpp"
+
+namespace mltcp::tcp {
+
+struct GeminiConfig {
+  double initial_cwnd = 10.0;
+  double initial_ssthresh = 1e9;
+  double min_cwnd = 2.0;
+  /// EWMA gain for the ECN-marked fraction (the intra-DC loop's alpha).
+  double g = 1.0 / 16.0;
+  /// Queueing delay (RTT above the observed minimum) the inter-DC loop
+  /// tolerates before it cuts the window.
+  sim::SimTime delay_threshold = sim::milliseconds(1);
+  /// Maximum per-window multiplicative decrease of the delay loop; the cut
+  /// ramps linearly with the excess up to this fraction.
+  double delay_beta = 0.2;
+  /// Reference RTT of the intra-DC segment. The additive increase is scaled
+  /// by min(srtt/rtt_ref, h_cap): a flow crossing the inter-DC link ramps
+  /// proportionally faster, compensating the RTT disparity that otherwise
+  /// starves long-haul flows sharing a bottleneck with short ones.
+  sim::SimTime rtt_ref = sim::microseconds(300);
+  double h_cap = 8.0;
+};
+
+/// Gemini-style dual-loop congestion control for cross-datacenter paths
+/// (Zeng et al., ICNP'19), simplified: a DCTCP-like ECN loop handles the
+/// shallow-buffered intra-DC segment while a delay loop watches the
+/// deep-buffered inter-DC segment; each observation window applies the
+/// stronger of the two signals as a single multiplicative decrease. The
+/// additive increase is RTT-compensated (longer paths ramp faster) and the
+/// sender paces at cwnd/srtt.
+///
+/// MLTCP augmentation routes F(bytes_ratio) into the additive-increase term
+/// — the same seam as Reno's AI slope — so the per-window growth step is
+/// gain * h * acked / cwnd.
+class GeminiCC : public CongestionControl {
+ public:
+  explicit GeminiCC(GeminiConfig cfg = {},
+                    std::shared_ptr<WindowGain> gain = {});
+
+  void on_ack(const AckContext& ctx) override;
+  void on_loss(sim::SimTime now) override;
+  void on_timeout(sim::SimTime now) override;
+  void on_idle_restart(sim::SimTime now) override;
+
+  double cwnd() const override { return cwnd_; }
+  double ssthresh() const override { return ssthresh_; }
+  double pacing_rate() const override;
+  std::string name() const override;
+  bool wants_ecn() const override { return true; }
+
+  double alpha() const { return alpha_; }
+  sim::SimTime min_rtt() const { return min_rtt_; }
+  sim::SimTime srtt() const { return srtt_; }
+  /// RTT-compensation factor currently applied to the additive increase.
+  double h() const;
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  void end_of_window(const AckContext& ctx);
+
+  GeminiConfig cfg_;
+  double cwnd_;
+  double ssthresh_;
+  /// RFC 8257 §4.2 initialization (see DctcpCC): congestion met in the very
+  /// first marked window cuts conservatively while the EWMA warms up.
+  double alpha_ = 1.0;
+
+  sim::SimTime min_rtt_ = 0;   ///< Base (propagation) RTT estimate.
+  sim::SimTime srtt_ = 0;      ///< EWMA of RTT samples (alpha = 1/8).
+  sim::SimTime last_rtt_ = 0;  ///< Most recent sample (delay-loop signal).
+  sim::SimTime last_decrease_ = -1;
+
+  // Per-window signal accounting (same scheme as DctcpCC: the first window
+  // closes one initial cwnd of segments into the stream).
+  std::int64_t window_end_seq_ = 0;
+  std::int64_t acked_in_window_ = 0;
+  std::int64_t marked_in_window_ = 0;
+};
+
+}  // namespace mltcp::tcp

@@ -9,15 +9,21 @@ RttEstimator::RttEstimator(sim::SimTime min_rto, sim::SimTime max_rto)
 
 void RttEstimator::add_sample(sim::SimTime rtt) {
   if (rtt < 0) return;
+  // RFC 6298 §5.7: a fresh measurement collapses the exponential backoff —
+  // the path produced an unambiguous sample, so the inflated RTO no longer
+  // reflects reality.
+  backoff_shift_ = 0;
   if (!has_sample_) {
     srtt_ = rtt;
-    rttvar_ = rtt / 2;
+    rttvar_ = std::max<sim::SimTime>(rtt / 2, 1);
     has_sample_ = true;
     return;
   }
-  // RFC 6298: alpha = 1/8, beta = 1/4.
+  // RFC 6298: alpha = 1/8, beta = 1/4. rttvar is floored at one clock tick:
+  // the integer EWMA otherwise decays to 0 on a steady path and the RTO
+  // degenerates to srtt itself, firing on the slightest jitter.
   const sim::SimTime err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
-  rttvar_ = rttvar_ + (err - rttvar_) / 4;
+  rttvar_ = std::max<sim::SimTime>(rttvar_ + (err - rttvar_) / 4, 1);
   srtt_ = srtt_ + (rtt - srtt_) / 8;
 }
 

@@ -51,7 +51,12 @@ std::int64_t TcpSender::usable_window() const {
 }
 
 void TcpSender::try_send() {
-  if (!cfg_.pacing) {
+  // A rate-based controller owns its release rate: its pacing_rate() drives
+  // the pace timer even when SenderConfig::pacing is off (cwnd stays the
+  // inflight cap). Window-based controllers return 0 and keep the configured
+  // behavior.
+  const double cc_rate = cc_->pacing_rate();
+  if (!cfg_.pacing && cc_rate <= 0.0) {
     int burst = cfg_.max_burst;
     while (next_seq_ < send_limit_ && inflight() < usable_window() &&
            burst-- > 0) {
@@ -64,16 +69,21 @@ void TcpSender::try_send() {
     return;
   }
 
-  // Paced release: one segment per cwnd/srtt interval. Until an RTT sample
-  // exists, fall back to ACK-clocked release (initial window only).
+  // Paced release: one segment per interval. The interval is 1/pacing_rate
+  // when the controller supplies a rate, cwnd/srtt otherwise. Until either
+  // exists (no RTT sample, no bandwidth estimate), fall back to ACK-clocked
+  // release (initial window only).
   while (next_seq_ < send_limit_ && inflight() < usable_window()) {
-    if (rtt_.has_sample()) {
+    if (cc_rate > 0.0 || rtt_.has_sample()) {
       if (sim_.now() < next_pace_time_) {
         if (!pace_timer_.pending()) pace_timer_.arm_at(next_pace_time_);
         break;
       }
-      const auto interval = static_cast<sim::SimTime>(
-          static_cast<double>(rtt_.srtt()) / std::max(cc_->cwnd(), 1.0));
+      const auto interval =
+          cc_rate > 0.0
+              ? sim::from_seconds(1.0 / cc_rate)
+              : static_cast<sim::SimTime>(static_cast<double>(rtt_.srtt()) /
+                                          std::max(cc_->cwnd(), 1.0));
       next_pace_time_ = sim_.now() + interval;
     }
     send_segment(next_seq_, /*retransmission=*/next_seq_ <= max_seq_sent_);
@@ -218,6 +228,7 @@ void TcpSender::handle_new_ack(const net::Packet& pkt) {
   ctx.ack_seq = pkt.seq;
   ctx.ece = pkt.ece;
   ctx.rtt_sample = rtt_sample;
+  ctx.inflight = inflight();
 
   // Cumulatively acknowledged segments leave the scoreboard.
   if (cfg_.use_sack) {

@@ -40,8 +40,13 @@ void SwiftCC::on_loss(sim::SimTime now) {
   last_decrease_ = now;
 }
 
-void SwiftCC::on_timeout(sim::SimTime /*now*/) {
-  cwnd_ = std::max(1.0, cfg_.min_cwnd / 2.0);
+void SwiftCC::on_timeout(sim::SimTime now) {
+  // An RTO is the strongest congestion signal Swift reacts to: collapse to
+  // the configured floor, never below it. The collapse is itself a decrease,
+  // so it must stamp last_decrease_ — otherwise a loss arriving within the
+  // same delay interval decreases again on top of the collapse.
+  cwnd_ = cfg_.min_cwnd;
+  last_decrease_ = now;
 }
 
 void SwiftCC::on_idle_restart(sim::SimTime /*now*/) {
